@@ -1,0 +1,107 @@
+// cinder-sim runs the reproduction's experiments — one per table and
+// figure of the Cinder paper's evaluation — and prints the regenerated
+// data with paper-vs-measured checks.
+//
+// Usage:
+//
+//	cinder-sim -list
+//	cinder-sim -exp table1
+//	cinder-sim -exp fig9 -plots
+//	cinder-sim -all -csv /tmp/out
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	cinder "repro"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available experiments")
+		exp   = flag.String("exp", "", "experiment to run (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		plots = flag.Bool("plots", false, "render ASCII plots of the regenerated series")
+		csv   = flag.String("csv", "", "directory to write per-series CSV files into")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Println("experiments (paper artifact → runner):")
+		for _, n := range cinder.Experiments() {
+			fmt.Println("  " + n)
+		}
+		return
+	case *all:
+		failed := 0
+		for _, r := range cinder.RunAllExperiments() {
+			fmt.Println(r.Format(*plots))
+			if err := writeCSVs(*csv, r); err != nil {
+				fatal(err)
+			}
+			if !r.Passed() {
+				failed++
+			}
+		}
+		if failed > 0 {
+			fatal(fmt.Errorf("%d experiment(s) failed their shape checks", failed))
+		}
+		return
+	case *exp != "":
+		r, err := cinder.RunExperiment(*exp)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r.Format(*plots))
+		if err := writeCSVs(*csv, r); err != nil {
+			fatal(err)
+		}
+		if !r.Passed() {
+			os.Exit(1)
+		}
+		return
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// writeCSVs dumps each regenerated series to dir as
+// <experiment>-<series>.csv.
+func writeCSVs(dir string, r cinder.Result) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, s := range r.Series {
+		name := fmt.Sprintf("%s-%s.csv", r.ID, sanitize(s.Name()))
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(s.CSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", filepath.Join(dir, name))
+	}
+	return nil
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cinder-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// browser-plugin demonstrates §5.2 / Figures 6a–6b: a browser subdivides
+// its energy to an untrusted plugin, scales the plugin's budget with
+// per-page taps, and (with backward proportional taps) reclaims energy
+// the plugin leaves unused.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cinder "repro"
+)
+
+func main() {
+	sys, err := cinder.NewSystem(cinder.Options{DisableDecay: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	browser, err := sys.NewBrowser(sys.Kernel.KernelPriv(), cinder.BrowserConfig{
+		Rate:       cinder.Milliwatts(690), // ≥6 h on a 15 kJ battery
+		PluginRate: cinder.Milliwatts(70),  // plugin capped at ~10 %
+		Reclaim:    true,                   // Fig. 6b backward taps
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("browser at 690 mW, plugin tap 70 mW, reclamation 0.1×/s")
+
+	// The plugin handles two pages; each page brings its own tap, so
+	// the plugin's budget scales with the work it does for the browser.
+	if err := browser.OpenPage("news", cinder.Milliwatts(20)); err != nil {
+		log.Fatal(err)
+	}
+	if err := browser.OpenPage("video", cinder.Milliwatts(30)); err != nil {
+		log.Fatal(err)
+	}
+	sys.Run(30 * cinder.Second)
+	report(sys, browser, "after 30 s with two pages open")
+
+	// The user navigates away: the page containers are deleted and
+	// kernel GC revokes their taps — "effectively revoking those power
+	// sources".
+	if err := browser.ClosePage("video"); err != nil {
+		log.Fatal(err)
+	}
+	sys.Run(30 * cinder.Second)
+	report(sys, browser, "after closing the video page")
+
+	// The browser asks its (ad-block) extension for help; a starved
+	// plugin is simply unresponsive and the browser shows the
+	// unaugmented page.
+	served := 0
+	for i := 0; i < 5; i++ {
+		if browser.AskExtension(50 * cinder.Millijoule) {
+			served++
+		}
+	}
+	fmt.Printf("extension served %d/5 requests (unresponsive: %d)\n",
+		served, browser.Plugin.Unresponsive)
+}
+
+func report(sys *cinder.System, b *cinder.Browser, when string) {
+	blvl, _ := b.Reserve.Level(cinder.NoPrivileges())
+	plvl, _ := b.Plugin.Reserve.Level(cinder.NoPrivileges())
+	fmt.Printf("%s:\n", when)
+	fmt.Printf("  browser reserve %v (CPU used %v)\n", blvl, b.Thread.CPUConsumed())
+	fmt.Printf("  plugin reserve  %v (CPU used %v), open pages: %d\n",
+		plvl, b.Plugin.Thread.CPUConsumed(), b.OpenPages())
+}

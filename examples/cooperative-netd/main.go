@@ -1,0 +1,61 @@
+// cooperative-netd demonstrates §5.5 / §6.4: two background pollers
+// (mail + RSS) with taps too small to power the radio alone pool their
+// energy through netd, synchronizing radio activations and cutting
+// active-radio time roughly in half versus the unrestricted baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cinder "repro"
+)
+
+func run(cooperative bool) (total cinder.Energy, activeTime cinder.Time, activations int64, polls int) {
+	sys, err := cinder.NewSystem(cinder.Options{
+		DisableDecay:    true,
+		CooperativeNetd: &cooperative,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mk := func(name string, phase cinder.Time, exchanges int) *cinder.Poller {
+		p, err := sys.NewPoller(name, sys.Kernel.KernelPriv(), cinder.PollerConfig{
+			Interval:  60 * cinder.Second,
+			Phase:     phase,
+			Rate:      cinder.Milliwatts(79), // one activation per 2 min alone
+			ReqBytes:  300,
+			RespBytes: 12 << 10,
+			Exchanges: exchanges,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p
+	}
+	rss := mk("rss", cinder.Second, 2)
+	mail := mk("mail", 16*cinder.Second, 6)
+
+	sys.Run(10 * cinder.Minute)
+	st := sys.Radio.Stats()
+	return sys.Consumed(), st.ActiveTime, st.Activations, rss.Completed + mail.Completed
+}
+
+func main() {
+	fmt.Println("10 simulated minutes, mail+RSS polling every 60 s, 15 s stagger")
+	fmt.Println()
+	uncoopE, uncoopT, uncoopA, uncoopP := run(false)
+	coopE, coopT, coopA, coopP := run(true)
+
+	fmt.Printf("%-22s %12s %12s\n", "", "non-coop", "cooperative")
+	fmt.Printf("%-22s %12v %12v\n", "total energy", uncoopE, coopE)
+	fmt.Printf("%-22s %12v %12v\n", "radio active time", uncoopT, coopT)
+	fmt.Printf("%-22s %12d %12d\n", "radio activations", uncoopA, coopA)
+	fmt.Printf("%-22s %12d %12d\n", "polls completed", uncoopP, coopP)
+	fmt.Println()
+	fmt.Printf("energy saving:      %.1f%%\n",
+		100*float64(uncoopE-coopE)/float64(uncoopE))
+	fmt.Printf("active-time saving: %.1f%%\n",
+		100*float64(uncoopT-coopT)/float64(uncoopT))
+	fmt.Println("\n(paper, 20 min run: 12.5% energy, 46.3% active time — Table 1)")
+}

@@ -1,0 +1,59 @@
+// task-manager demonstrates §5.4 / Fig. 7 / Fig. 12: background
+// applications confined to a trickle of power, with the task manager —
+// and only the task manager — opening each app's foreground tap while
+// the user interacts with it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cinder "repro"
+)
+
+func main() {
+	sys, err := cinder.NewSystem(cinder.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tm, err := sys.NewTaskManager(sys.Kernel.KernelPriv(), cinder.TaskManagerCfg{
+		ForegroundRate: cinder.Milliwatts(137), // exactly full-CPU cost
+		BackgroundRate: cinder.Milliwatts(14),  // bg pair shares 10 % CPU
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rss, err := tm.Manage("RSS", cinder.Milliwatts(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mail, err := tm.Manage("Mail", cinder.Milliwatts(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	phase := func(name string, fg string, d cinder.Time) {
+		if err := tm.SetForeground(fg); err != nil {
+			log.Fatal(err)
+		}
+		r0, m0 := rss.CPUConsumed(), mail.CPUConsumed()
+		sys.Run(d)
+		fmt.Printf("%-28s RSS %8v   Mail %8v\n", name,
+			(rss.CPUConsumed() - r0).DividedBy(d),
+			(mail.CPUConsumed() - m0).DividedBy(d))
+	}
+
+	fmt.Println("mean CPU power per 10 s phase (CPU costs 137 mW at 100%):")
+	phase("both background", "", 10*cinder.Second)
+	phase("RSS foreground", "RSS", 10*cinder.Second)
+	phase("both background again", "", 10*cinder.Second)
+	phase("Mail foreground", "Mail", 10*cinder.Second)
+	phase("both background again", "", 10*cinder.Second)
+
+	// An app cannot open its own foreground tap: the task manager is
+	// "the only thread privileged to modify the parameters on the tap".
+	apps := tm.Apps()
+	if err := apps["RSS"].Tap.SetRate(cinder.NoPrivileges(), cinder.Watt); err != nil {
+		fmt.Printf("\nRSS tried to raise its own tap: %v\n", err)
+	}
+}

@@ -1,0 +1,63 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/kobj"
+	"repro/internal/label"
+	"repro/internal/sched"
+	"repro/internal/units"
+)
+
+// Wrapped is the result of energywrap (§5.1): an arbitrary workload
+// confined to a rate-limited reserve. The wrapped thread's active
+// reserve is the sandbox reserve, exactly the fork/set_active_reserve/
+// exec sequence of Fig. 5, so even energy-unaware programs acquire an
+// energy policy.
+type Wrapped struct {
+	Name      string
+	Container *kobj.Container
+	Thread    *sched.Thread
+	Reserve   *core.Reserve
+	Tap       *core.Tap
+}
+
+// EnergyWrap runs the given runner under a rate limit drawn from the
+// `from` reserve. ownerPriv must be able to use `from`; the created tap
+// is labeled tapLbl so the wrapper retains control of the rate.
+//
+// The nesting the paper highlights — energywrap wrapping energywrap —
+// falls out naturally: pass a Wrapped's Reserve as `from` to a second
+// call.
+func EnergyWrap(k *kernel.Kernel, parent *kobj.Container, name string, ownerPriv label.Priv, from *core.Reserve, rate units.Power, tapLbl label.Label, runner sched.Runner) (*Wrapped, error) {
+	c := kobj.NewContainer(k.Table, parent, name, label.Public())
+	res, tap, err := k.Wrap(c, name, ownerPriv, from, rate, tapLbl)
+	if err != nil {
+		return nil, fmt.Errorf("apps: energywrap %q: %w", name, err)
+	}
+	th := k.Sched.NewThread(c, name, label.Public(), label.Priv{}, runner, res)
+	return &Wrapped{Name: name, Container: c, Thread: th, Reserve: res, Tap: tap}, nil
+}
+
+// SetRate adjusts the sandbox rate; only a holder of the tap label's
+// privileges may call it successfully.
+func (w *Wrapped) SetRate(p label.Priv, rate units.Power) error {
+	return w.Tap.SetRate(p, rate)
+}
+
+// Kill deletes the sandbox container, tearing down the thread, reserve
+// and tap (the reserve's residual energy returns to the battery).
+func (w *Wrapped) Kill(k *kernel.Kernel) error {
+	return k.Table.Delete(w.Container.ObjectID())
+}
+
+// Consumed reports the sandboxed workload's total consumption.
+func (w *Wrapped) Consumed() (units.Energy, error) {
+	st, err := w.Reserve.Stats(label.Priv{})
+	if err != nil {
+		return 0, err
+	}
+	return st.Consumed, nil
+}

@@ -1,0 +1,27 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/netd"
+	"repro/internal/radio"
+)
+
+// newRadio attaches a radio device to the kernel for poller tests.
+func newRadio(t *testing.T, k *kernel.Kernel) *radio.Radio {
+	t.Helper()
+	r := radio.New(k.Eng, k.Graph, k.Root, k.KernelPriv(), radio.Config{Profile: k.Profile})
+	k.AddDevice(r)
+	return r
+}
+
+// newNetd attaches a netd instance.
+func newNetd(t *testing.T, k *kernel.Kernel, r *radio.Radio, cooperative bool) *netd.Netd {
+	t.Helper()
+	n, err := netd.New(k, r, netd.Config{Cooperative: cooperative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/label"
+	"repro/internal/units"
+)
+
+func TestOperationsOnDeadReserve(t *testing.T) {
+	g, root := testGraph(Config{DecayHalfLife: -1})
+	r := g.NewReserve(root, "doomed", label.Public(), ReserveOpts{})
+	if err := g.Table().Delete(r.ObjectID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Level(anyone); !errors.Is(err, ErrDead) {
+		t.Errorf("Level on dead: %v", err)
+	}
+	if _, err := r.Stats(anyone); !errors.Is(err, ErrDead) {
+		t.Errorf("Stats on dead: %v", err)
+	}
+	if err := r.Consume(anyone, 1); !errors.Is(err, ErrDead) {
+		t.Errorf("Consume on dead: %v", err)
+	}
+	if err := r.DebitSelf(anyone, 1); !errors.Is(err, ErrDead) {
+		t.Errorf("DebitSelf on dead: %v", err)
+	}
+	if r.CanConsume(anyone, 1) {
+		t.Error("CanConsume on dead reserve")
+	}
+	if !r.Empty() {
+		t.Error("dead reserve not Empty")
+	}
+	// Transfers touching dead reserves fail.
+	live := g.NewReserve(root, "live", label.Public(), ReserveOpts{})
+	if err := g.Transfer(anyone, r, live, 0); !errors.Is(err, ErrDead) {
+		t.Errorf("Transfer from dead: %v", err)
+	}
+	// New taps on dead reserves fail.
+	if _, err := g.NewTap(root, "t", anyone, r, live, label.Public()); !errors.Is(err, ErrDead) {
+		t.Errorf("NewTap on dead: %v", err)
+	}
+}
+
+func TestOperationsOnDeadTap(t *testing.T) {
+	g, root := testGraph(Config{DecayHalfLife: -1})
+	r := g.NewReserve(root, "r", label.Public(), ReserveOpts{})
+	tap, err := g.NewTap(root, "t", anyone, g.Battery(), r, label.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Table().Delete(tap.ObjectID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tap.SetRate(anyone, units.Watt); !errors.Is(err, ErrDead) {
+		t.Errorf("SetRate on dead: %v", err)
+	}
+	if err := tap.SetFrac(anyone, 1000); !errors.Is(err, ErrDead) {
+		t.Errorf("SetFrac on dead: %v", err)
+	}
+}
+
+func TestTapValidationErrors(t *testing.T) {
+	g, root := testGraph(Config{DecayHalfLife: -1})
+	r := g.NewReserve(root, "r", label.Public(), ReserveOpts{})
+	tap, err := g.NewTap(root, "t", anyone, g.Battery(), r, label.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tap.SetRate(anyone, -1); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if err := tap.SetFrac(anyone, -1); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if err := tap.SetFrac(anyone, 1_000_001); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	if _, err := g.NewTap(root, "nil", anyone, nil, r, label.Public()); err == nil {
+		t.Error("nil source accepted")
+	}
+}
+
+func TestCloneReserveErrors(t *testing.T) {
+	g, root := testGraph(Config{DecayHalfLife: -1})
+	r := g.NewReserve(root, "r", label.Public(), ReserveOpts{})
+	if err := g.Table().Delete(r.ObjectID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.CloneReserve(root, "c", anyone, r, label.Public()); !errors.Is(err, ErrDead) {
+		t.Errorf("clone of dead: %v", err)
+	}
+	const cat label.Category = 8
+	hidden := g.NewReserve(root, "hidden", label.New(label.Level3, nil), ReserveOpts{})
+	if _, err := g.CloneReserve(root, "c", anyone, hidden, label.Public()); !errors.Is(err, ErrAccess) {
+		t.Errorf("clone of unobservable: %v", err)
+	}
+	_ = cat
+}
+
+func TestStringers(t *testing.T) {
+	g, root := testGraph(Config{DecayHalfLife: -1})
+	r := g.NewReserve(root, "myres", label.Public(), ReserveOpts{})
+	if s := r.String(); !strings.Contains(s, "myres") {
+		t.Errorf("Reserve.String() = %q", s)
+	}
+	tap, _ := g.NewTap(root, "mytap", anyone, g.Battery(), r, label.Public())
+	if err := tap.SetRate(anyone, units.Milliwatt); err != nil {
+		t.Fatal(err)
+	}
+	if s := tap.String(); !strings.Contains(s, "mytap") || !strings.Contains(s, "battery") {
+		t.Errorf("Tap.String() = %q", s)
+	}
+	if err := tap.SetFrac(anyone, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	if s := tap.String(); !strings.Contains(s, "0.1") {
+		t.Errorf("proportional Tap.String() = %q", s)
+	}
+	if TapConst.String() != "const" || TapProportional.String() != "proportional" {
+		t.Error("TapKind strings")
+	}
+	if TapKind(7).String() != "tapkind(7)" {
+		t.Error("unknown TapKind string")
+	}
+}
+
+func TestNegativePanics(t *testing.T) {
+	g, root := testGraph(Config{DecayHalfLife: -1})
+	r := g.NewReserve(root, "r", label.Public(), ReserveOpts{})
+	for name, fn := range map[string]func(){
+		"consume":  func() { _ = r.Consume(anyone, -1) },
+		"debit":    func() { _ = r.DebitSelf(anyone, -1) },
+		"transfer": func() { _ = g.Transfer(anyone, g.Battery(), r, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: negative amount accepted", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAccessorsAndSnapshots(t *testing.T) {
+	g, root := testGraph(Config{BatteryCapacity: units.Kilojoule, DecayHalfLife: -1})
+	if g.Capacity() != units.Kilojoule {
+		t.Error("Capacity")
+	}
+	if g.HalfLife() != -1 {
+		t.Error("HalfLife")
+	}
+	r := g.NewReserve(root, "r", label.Public(), ReserveOpts{})
+	tap, _ := g.NewTap(root, "t", anyone, g.Battery(), r, label.Public())
+	if len(g.Reserves()) != 2 || len(g.Taps()) != 1 {
+		t.Fatalf("snapshot sizes %d/%d", len(g.Reserves()), len(g.Taps()))
+	}
+	// Snapshots are copies.
+	g.Reserves()[0] = nil
+	g.Taps()[0] = nil
+	if g.Reserves()[0] == nil || g.Taps()[0] != tap {
+		t.Fatal("accessors returned aliased slices")
+	}
+	if tap.Source() != g.Battery() || tap.Sink() != r {
+		t.Fatal("tap endpoints")
+	}
+	if tap.Kind() != TapConst {
+		t.Fatal("default tap kind")
+	}
+	if r.Name() != "r" || r.DecayExempt() {
+		t.Fatal("reserve attributes")
+	}
+}
+
+func TestFlowZeroAndNegativeDt(t *testing.T) {
+	g, root := testGraph(Config{DecayHalfLife: -1})
+	r := g.NewReserve(root, "r", label.Public(), ReserveOpts{})
+	tap, _ := g.NewTap(root, "t", anyone, g.Battery(), r, label.Public())
+	if err := tap.SetRate(anyone, units.Watt); err != nil {
+		t.Fatal(err)
+	}
+	g.Flow(0)
+	g.Flow(-5)
+	if lvl, _ := r.Level(anyone); lvl != 0 {
+		t.Fatalf("zero-dt flow moved %v", lvl)
+	}
+	g.Decay(0)
+	g.Decay(-1)
+}

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/kobj"
+	"repro/internal/label"
+	"repro/internal/units"
+)
+
+// DefaultHalfLife is the paper's default global decay: reserves leak 50 %
+// of their content back to the battery every 10 minutes (§5.2.2).
+const DefaultHalfLife = 10 * units.Minute
+
+// DefaultBatteryCapacity matches the 15 kJ battery used in the paper's
+// running example (Fig. 1).
+const DefaultBatteryCapacity = 15 * units.Kilojoule
+
+// Config parameterizes a Graph.
+type Config struct {
+	// BatteryCapacity is the root reserve's initial level. Defaults to
+	// DefaultBatteryCapacity.
+	BatteryCapacity units.Energy
+	// DecayHalfLife is the global hoarding-prevention half-life; zero
+	// selects DefaultHalfLife. Set Negative to disable decay entirely
+	// (used by ablation benchmarks).
+	DecayHalfLife units.Time
+	// StrictHoarding enables the "more fundamental" anti-hoarding rule
+	// the paper sketches instead of relying on decay alone (§5.2.2):
+	// transfers from a reserve with backward proportional taps to one
+	// with strictly weaker backward taps are rejected unless the caller
+	// can modify every such tap.
+	StrictHoarding bool
+}
+
+// Graph is the resource consumption graph (§3.4): a set of reserves
+// rooted at the battery, connected by taps. The kernel owns one Graph
+// and drives Flow and Decay from its clock.
+type Graph struct {
+	table    *kobj.Table
+	battery  *Reserve
+	reserves []*Reserve
+	taps     []*Tap
+	consumed units.Energy
+	capacity units.Energy
+	halfLife units.Time
+	strict   bool
+	// decayFactor is the per-Decay-interval retention in 2⁻³⁰ fixed
+	// point, memoized per interval length.
+	decayFactorDT units.Time
+	decayFactor   int64
+}
+
+// NewGraph creates a resource graph whose root battery reserve lives in
+// the given container. The battery is decay-exempt (decay returns energy
+// *to* it) and carries the given label; typically only the kernel owns
+// its elevated category.
+func NewGraph(t *kobj.Table, root *kobj.Container, batteryLabel label.Label, cfg Config) *Graph {
+	if cfg.BatteryCapacity == 0 {
+		cfg.BatteryCapacity = DefaultBatteryCapacity
+	}
+	if cfg.DecayHalfLife == 0 {
+		cfg.DecayHalfLife = DefaultHalfLife
+	}
+	g := &Graph{
+		table:    t,
+		capacity: cfg.BatteryCapacity,
+		halfLife: cfg.DecayHalfLife,
+		strict:   cfg.StrictHoarding,
+	}
+	g.battery = g.newReserve(root, "battery", batteryLabel, ReserveOpts{DecayExempt: true})
+	g.battery.level = cfg.BatteryCapacity
+	return g
+}
+
+// Battery returns the root reserve (§3.4: "the root of the graph is a
+// reserve representing the system battery").
+func (g *Graph) Battery() *Reserve { return g.battery }
+
+// Table returns the kernel object table backing the graph.
+func (g *Graph) Table() *kobj.Table { return g.table }
+
+// ReserveOpts carries optional reserve attributes.
+type ReserveOpts struct {
+	// AllowDebt permits DebitSelf to push the level negative (§5.5.2).
+	AllowDebt bool
+	// DecayExempt excludes the reserve from the global half-life, the
+	// exception granted to trusted pools like netd's (§5.5.2).
+	DecayExempt bool
+}
+
+// NewReserve creates an empty reserve in the given container, the
+// reserve_create syscall of Fig. 5. Any thread may create reserves to
+// subdivide and delegate its resources (§3.5).
+func (g *Graph) NewReserve(parent *kobj.Container, name string, lbl label.Label, opts ReserveOpts) *Reserve {
+	return g.newReserve(parent, name, lbl, opts)
+}
+
+func (g *Graph) newReserve(parent *kobj.Container, name string, lbl label.Label, opts ReserveOpts) *Reserve {
+	r := &Reserve{
+		graph:       g,
+		name:        name,
+		allowDebt:   opts.AllowDebt,
+		decayExempt: opts.DecayExempt,
+	}
+	r.OnRelease(func() { g.releaseReserve(r) })
+	g.table.Register(&r.Base, kobj.KindReserve, lbl, parent, r)
+	g.reserves = append(g.reserves, r)
+	return r
+}
+
+// releaseReserve handles kobj deallocation: any remaining energy returns
+// to the battery so deleting a reserve can never destroy energy, then
+// the reserve stops participating in flows.
+func (g *Graph) releaseReserve(r *Reserve) {
+	if r == g.battery {
+		panic("core: battery reserve deleted")
+	}
+	if r.level > 0 {
+		g.battery.credit(r.level)
+		r.stats.Out += r.level
+		r.level = 0
+	}
+	r.dead = true
+	g.reserves = removeFirst(g.reserves, r)
+}
+
+// NewTap creates a tap between src and sink, the tap_create syscall of
+// Fig. 5. The creator must hold use privileges on both reserves — a tap
+// actively moves resources, so it "needs privileges to observe and
+// modify both reserve levels" (§3.5) — and those privileges are embedded
+// in the tap. The tap starts with rate zero; call SetRate or SetFrac.
+func (g *Graph) NewTap(parent *kobj.Container, name string, p label.Priv, src, sink *Reserve, lbl label.Label) (*Tap, error) {
+	if src == nil || sink == nil {
+		return nil, fmt.Errorf("core: tap %q: nil reserve", name)
+	}
+	if src == sink {
+		return nil, fmt.Errorf("core: tap %q: source and sink are the same reserve", name)
+	}
+	if src.dead || sink.dead {
+		return nil, fmt.Errorf("%w: tap %q endpoints", ErrDead, name)
+	}
+	if !p.CanUse(src.Label()) {
+		return nil, fmt.Errorf("%w: tap %q needs use of source %q", ErrAccess, name, src.name)
+	}
+	if !p.CanUse(sink.Label()) {
+		return nil, fmt.Errorf("%w: tap %q needs use of sink %q", ErrAccess, name, sink.name)
+	}
+	t := &Tap{graph: g, name: name, src: src, sink: sink, priv: p}
+	t.OnRelease(func() { g.releaseTap(t) })
+	g.table.Register(&t.Base, kobj.KindTap, lbl, parent, t)
+	g.taps = append(g.taps, t)
+	return t, nil
+}
+
+func (g *Graph) releaseTap(t *Tap) {
+	t.dead = true
+	g.taps = removeFirst(g.taps, t)
+}
+
+// Flow runs one batch interval: every live tap moves dt's worth of
+// energy, in creation order. The kernel calls this periodically (§3.3:
+// "transfers are executed in batch periodically").
+func (g *Graph) Flow(dt units.Time) {
+	if dt <= 0 {
+		return
+	}
+	// Iterate over a stable snapshot index-wise; taps created during a
+	// flow start next batch, taps deleted are marked dead and skipped.
+	for i := 0; i < len(g.taps); i++ {
+		g.taps[i].flow(dt)
+	}
+}
+
+// Decay applies the global half-life: every non-exempt reserve leaks
+// level×(1−2^(−dt/halfLife)) back to the battery (§5.2.2). The kernel
+// calls this with a coarse period (1 s); the exponential form makes the
+// long-run half-life independent of the call interval.
+func (g *Graph) Decay(dt units.Time) {
+	if dt <= 0 || g.halfLife < 0 {
+		return
+	}
+	f := g.retentionFactor(dt)
+	for _, r := range g.reserves {
+		if r.decayExempt || r.level <= 0 {
+			continue
+		}
+		// retained = level × f / 2³⁰, with per-reserve fixed-point carry
+		// so the long-run half-life is exact.
+		total := int64(r.level)*f + r.decayCarry
+		retained := units.Energy(total >> 30)
+		r.decayCarry = total & (1<<30 - 1)
+		leaked := r.level - retained
+		if leaked <= 0 {
+			continue
+		}
+		r.level = retained
+		r.stats.Decayed += leaked
+		r.stats.Out += leaked
+		g.battery.credit(leaked)
+	}
+}
+
+// retentionFactor returns 2³⁰ × 2^(−dt/halfLife), memoized for the
+// common case of a fixed decay interval.
+func (g *Graph) retentionFactor(dt units.Time) int64 {
+	if dt == g.decayFactorDT && g.decayFactor != 0 {
+		return g.decayFactor
+	}
+	f := int64(math.Round(math.Exp2(-float64(dt)/float64(g.halfLife)) * (1 << 30)))
+	if f > 1<<30 {
+		f = 1 << 30
+	}
+	g.decayFactorDT, g.decayFactor = dt, f
+	return f
+}
+
+// Transfer performs a direct reserve-to-reserve transfer (§3.2: "a
+// thread can also perform a reserve-to-reserve transfer provided it is
+// permitted to modify both reserves"). It is all-or-nothing.
+func (g *Graph) Transfer(p label.Priv, src, sink *Reserve, amount units.Energy) error {
+	if amount < 0 {
+		panic("core: negative transfer")
+	}
+	if src.dead || sink.dead {
+		return fmt.Errorf("%w: transfer", ErrDead)
+	}
+	if !p.CanUse(src.Label()) {
+		return fmt.Errorf("%w: transfer from %q", ErrAccess, src.name)
+	}
+	if !p.CanUse(sink.Label()) {
+		return fmt.Errorf("%w: transfer to %q", ErrAccess, sink.name)
+	}
+	if g.strict {
+		if err := g.checkHoarding(p, src, sink); err != nil {
+			return err
+		}
+	}
+	if src.level < amount {
+		return fmt.Errorf("%w: %q has %v, need %v", ErrInsufficient, src.name, src.level, amount)
+	}
+	src.debit(amount)
+	sink.credit(amount)
+	return nil
+}
+
+// TransferUpTo moves min(amount, src level) and returns the amount
+// moved. netd uses this to sweep whatever waiting threads have
+// accumulated into the shared pool (§5.5.2).
+func (g *Graph) TransferUpTo(p label.Priv, src, sink *Reserve, amount units.Energy) (units.Energy, error) {
+	avail := units.ClampNonNegative(src.level)
+	moved := units.Min(amount, avail)
+	if moved == 0 {
+		// Still perform the access checks so callers can't probe.
+		if !p.CanUse(src.Label()) || !p.CanUse(sink.Label()) {
+			return 0, fmt.Errorf("%w: transfer", ErrAccess)
+		}
+		return 0, nil
+	}
+	if err := g.Transfer(p, src, sink, moved); err != nil {
+		return 0, err
+	}
+	return moved, nil
+}
+
+// checkHoarding implements the strict rule from §5.2.2: a transfer from
+// src to sink is allowed only if for every backward proportional tap
+// draining src that the caller cannot remove, the sink has a backward
+// proportional tap at least as strong.
+func (g *Graph) checkHoarding(p label.Priv, src, sink *Reserve) error {
+	srcDrain := g.backwardDrain(src, p)
+	sinkDrain := g.backwardDrain(sink, label.Priv{})
+	if sinkDrain < srcDrain {
+		return fmt.Errorf("%w: source drains at %d PPM/s, sink at %d PPM/s",
+			ErrHoarding, srcDrain, sinkDrain)
+	}
+	return nil
+}
+
+// backwardDrain sums the proportional drain (PPM/s) of taps whose source
+// is r, ignoring taps the given privileges could modify (and thus
+// legitimately remove).
+func (g *Graph) backwardDrain(r *Reserve, ignorable label.Priv) PPM {
+	var total PPM
+	for _, t := range g.taps {
+		if t.dead || t.src != r || t.kind != TapProportional {
+			continue
+		}
+		if ignorable.CanModify(t.Label()) {
+			continue
+		}
+		total += t.frac
+	}
+	return total
+}
+
+// CloneReserve implements the reserve_clone alternative from §5.2.2: it
+// creates a new reserve and duplicates every backward proportional tap
+// draining the original that the caller lacks permission to remove, so
+// the clone cannot be used to escape taxation.
+func (g *Graph) CloneReserve(parent *kobj.Container, name string, p label.Priv, orig *Reserve, lbl label.Label) (*Reserve, error) {
+	if orig.dead {
+		return nil, fmt.Errorf("%w: clone of %q", ErrDead, orig.name)
+	}
+	if !p.CanObserve(orig.Label()) {
+		return nil, fmt.Errorf("%w: clone of %q", ErrAccess, orig.name)
+	}
+	clone := g.newReserve(parent, name, lbl, ReserveOpts{
+		AllowDebt:   orig.allowDebt,
+		DecayExempt: orig.decayExempt,
+	})
+	for _, t := range g.taps {
+		if t.dead || t.src != orig || t.kind != TapProportional {
+			continue
+		}
+		if p.CanModify(t.Label()) {
+			continue // caller could remove it anyway
+		}
+		dup := &Tap{
+			graph: g, name: t.name + "-clone", src: clone, sink: t.sink,
+			kind: TapProportional, frac: t.frac, priv: t.priv,
+		}
+		dup.OnRelease(func() { g.releaseTap(dup) })
+		g.table.Register(&dup.Base, kobj.KindTap, t.Label(), parent, dup)
+		g.taps = append(g.taps, dup)
+	}
+	return clone, nil
+}
+
+// Consumed returns the total energy consumed (gone from the system)
+// since the graph was created.
+func (g *Graph) Consumed() units.Energy { return g.consumed }
+
+// Capacity returns the initial battery capacity.
+func (g *Graph) Capacity() units.Energy { return g.capacity }
+
+// TotalHeld returns the sum of all live reserve levels, battery
+// included. Debt (negative levels) subtracts.
+func (g *Graph) TotalHeld() units.Energy {
+	var sum units.Energy
+	for _, r := range g.reserves {
+		sum += r.level
+	}
+	return sum
+}
+
+// ConservationError returns TotalHeld + Consumed − Capacity, which is
+// zero in a correct graph. Property tests assert this stays exactly
+// zero across arbitrary operation sequences.
+func (g *Graph) ConservationError() units.Energy {
+	return g.TotalHeld() + g.consumed - g.capacity
+}
+
+// Reserves returns the live reserves in creation order (battery first).
+func (g *Graph) Reserves() []*Reserve {
+	out := make([]*Reserve, len(g.reserves))
+	copy(out, g.reserves)
+	return out
+}
+
+// Taps returns the live taps in creation order.
+func (g *Graph) Taps() []*Tap {
+	out := make([]*Tap, len(g.taps))
+	copy(out, g.taps)
+	return out
+}
+
+// HalfLife returns the configured decay half-life (negative if decay is
+// disabled).
+func (g *Graph) HalfLife() units.Time { return g.halfLife }
+
+func removeFirst[T comparable](s []T, v T) []T {
+	for i, x := range s {
+		if x == v {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/kobj"
+	"repro/internal/label"
+	"repro/internal/units"
+)
+
+// TapKind selects a tap's rate semantics (§3.3, §5.2.1).
+type TapKind uint8
+
+const (
+	// TapConst moves a fixed quantity per unit time: the rate is a
+	// power. This is the paper's TAP_TYPE_CONST.
+	TapConst TapKind = iota
+	// TapProportional moves a fraction of the *source* reserve's level
+	// per second. The paper's "backward proportional taps" (§5.2.1) are
+	// proportional taps whose source is the application reserve and
+	// whose sink is the shared pool or battery.
+	TapProportional
+)
+
+// String returns the kind name.
+func (k TapKind) String() string {
+	switch k {
+	case TapConst:
+		return "const"
+	case TapProportional:
+		return "proportional"
+	default:
+		return fmt.Sprintf("tapkind(%d)", uint8(k))
+	}
+}
+
+// PPM expresses a proportional tap's fraction in parts per million per
+// second: a tap with frac 100_000 PPM (0.1×/s) drains a tenth of its
+// source's level each second, the figure the paper uses in Fig. 6b.
+type PPM int64
+
+// Tap transfers energy between two reserves at a rate (§3.3). A tap is
+// "an efficient, special-purpose thread whose only job is to transfer
+// energy between reserves"; in practice the Graph flows all taps in
+// batch (Graph.Flow), exactly as the paper describes ("transfers are
+// executed in batch periodically to minimize scheduling and
+// context-switch overheads").
+type Tap struct {
+	kobj.Base
+	graph *Graph
+	name  string
+	src   *Reserve
+	sink  *Reserve
+	kind  TapKind
+	// rate is the power moved for TapConst.
+	rate units.Power
+	// frac is the fraction of the source level moved per second for
+	// TapProportional.
+	frac PPM
+	// priv holds the privileges embedded in the tap at creation (§3.5:
+	// "taps can have privileges embedded in them"); the tap itself uses
+	// them to move energy between the two reserves.
+	priv label.Priv
+	// carry accumulates sub-microjoule flow residue (µJ·10⁻³ for const,
+	// µJ·10⁻⁹-scale fixed point folded into flowProportional for
+	// proportional taps).
+	carry int64
+	dead  bool
+	stats TapStats
+}
+
+// TapStats records a tap's lifetime transfer volume.
+type TapStats struct {
+	// Moved is the total energy transferred source→sink.
+	Moved units.Energy
+	// Starved is the total shortfall: energy the rate entitled the tap
+	// to move but the source did not hold.
+	Starved units.Energy
+}
+
+// Name returns the tap's diagnostic name.
+func (t *Tap) Name() string { return t.name }
+
+// Source returns the tap's source reserve.
+func (t *Tap) Source() *Reserve { return t.src }
+
+// Sink returns the tap's sink reserve.
+func (t *Tap) Sink() *Reserve { return t.sink }
+
+// Kind returns the tap's rate semantics.
+func (t *Tap) Kind() TapKind { return t.kind }
+
+// Dead reports whether the tap has been deallocated.
+func (t *Tap) Dead() bool { return t.dead }
+
+// Stats returns a copy of the tap's transfer record.
+func (t *Tap) Stats() TapStats { return t.stats }
+
+// Rate returns the constant rate (zero for proportional taps).
+func (t *Tap) Rate() units.Power { return t.rate }
+
+// Frac returns the proportional fraction (zero for constant taps).
+func (t *Tap) Frac() PPM { return t.frac }
+
+// SetRate changes a constant tap's rate, the tap_set_rate syscall of
+// Fig. 5. Only a caller that can modify the tap object may change it —
+// the task manager retains exclusive control of foreground taps this way
+// (§5.4).
+func (t *Tap) SetRate(p label.Priv, rate units.Power) error {
+	if t.dead {
+		return fmt.Errorf("%w: tap %q", ErrDead, t.name)
+	}
+	if !p.CanModify(t.Label()) {
+		return fmt.Errorf("%w: modify tap %q", ErrAccess, t.name)
+	}
+	if rate < 0 {
+		return fmt.Errorf("core: tap %q: negative rate %v", t.name, rate)
+	}
+	t.kind = TapConst
+	t.rate = rate
+	return nil
+}
+
+// SetFrac changes a proportional tap's per-second fraction.
+func (t *Tap) SetFrac(p label.Priv, frac PPM) error {
+	if t.dead {
+		return fmt.Errorf("%w: tap %q", ErrDead, t.name)
+	}
+	if !p.CanModify(t.Label()) {
+		return fmt.Errorf("%w: modify tap %q", ErrAccess, t.name)
+	}
+	if frac < 0 || frac > 1_000_000 {
+		return fmt.Errorf("core: tap %q: fraction %d out of [0,1e6] PPM", t.name, frac)
+	}
+	t.kind = TapProportional
+	t.frac = frac
+	return nil
+}
+
+// flow moves one batch interval's worth of energy. Amounts are clamped
+// to the source level; the shortfall is recorded as starvation. Flow is
+// a kernel-internal operation: the label checks happened at creation
+// time, when the creator proved it held the embedded privileges.
+func (t *Tap) flow(dt units.Time) units.Energy {
+	if t.dead || t.src.dead || t.sink.dead {
+		return 0
+	}
+	var want units.Energy
+	switch t.kind {
+	case TapConst:
+		want, t.carry = t.rate.OverRem(dt, t.carry)
+	case TapProportional:
+		// amount = level × frac/1e6 × dt/1000, carried at µJ·10⁻³
+		// resolution on the final division. level×frac stays well below
+		// overflow for any realistic battery (15 kJ × 1e6 PPM ≈ 1.5e16).
+		scaled := int64(t.src.level) * int64(t.frac) / 1_000_000
+		total := scaled*int64(dt) + t.carry
+		want = units.Energy(total / 1000)
+		t.carry = total % 1000
+	}
+	if want <= 0 {
+		return 0
+	}
+	avail := units.ClampNonNegative(t.src.level)
+	moved := units.Min(want, avail)
+	if short := want - moved; short > 0 {
+		t.stats.Starved += short
+	}
+	if moved > 0 {
+		t.src.debit(moved)
+		t.sink.credit(moved)
+		t.stats.Moved += moved
+	}
+	return moved
+}
+
+// String renders the tap for diagnostics.
+func (t *Tap) String() string {
+	switch t.kind {
+	case TapProportional:
+		return fmt.Sprintf("tap(%q %s→%s %.3g×/s)", t.name, t.src.name, t.sink.name, float64(t.frac)/1e6)
+	default:
+		return fmt.Sprintf("tap(%q %s→%s %v)", t.name, t.src.name, t.sink.name, t.rate)
+	}
+}
+
+var _ kobj.Object = (*Tap)(nil)
+var _ kobj.Object = (*Reserve)(nil)

@@ -1,0 +1,88 @@
+// Package estimator implements the adaptive energy-model refinement the
+// paper sketches as future work: "Using the HTC Dream's limited battery
+// level information Cinder could adapt its energy model based on past
+// component and application usage, dynamically refining its costs"
+// (§9), building on the §4.4 observation that Cinder "can take advantage
+// of new accounting techniques".
+//
+// ActivationEstimator maintains an exponentially-weighted moving average
+// of the radio's measured per-activation overhead. netd can use it in
+// place of the static 9.5 J constant (netd.Config.Estimator), so the
+// pooling threshold tracks the device's actual behaviour — including the
+// outliers Fig. 4 shows.
+package estimator
+
+import (
+	"fmt"
+
+	"repro/internal/radio"
+	"repro/internal/units"
+)
+
+// DefaultAlphaPct is the EWMA weight (percent) given to each new
+// observation.
+const DefaultAlphaPct = 25
+
+// ActivationEstimator tracks radio activation overhead online.
+type ActivationEstimator struct {
+	alphaPct     int64
+	estimate     units.Energy
+	observations int64
+	min, max     units.Energy
+	// history keeps recent observations for diagnostics.
+	history []units.Energy
+}
+
+// NewActivationEstimator seeds the estimator with the offline-measured
+// prior (the profile's 9.5 J) and subscribes it to the radio's episode
+// stream.
+func NewActivationEstimator(r *radio.Radio, alphaPct int) *ActivationEstimator {
+	if alphaPct <= 0 || alphaPct > 100 {
+		alphaPct = DefaultAlphaPct
+	}
+	e := &ActivationEstimator{
+		alphaPct: int64(alphaPct),
+		estimate: r.Profile().RadioActivationEnergy,
+		min:      units.MaxEnergy,
+	}
+	r.OnEpisode(e.Observe)
+	return e
+}
+
+// Observe folds one measured episode cost into the running estimate.
+func (e *ActivationEstimator) Observe(cost units.Energy) {
+	if cost <= 0 {
+		return
+	}
+	e.observations++
+	if cost < e.min {
+		e.min = cost
+	}
+	if cost > e.max {
+		e.max = cost
+	}
+	if len(e.history) < 64 {
+		e.history = append(e.history, cost)
+	} else {
+		copy(e.history, e.history[1:])
+		e.history[len(e.history)-1] = cost
+	}
+	// estimate += α (cost − estimate), in integer percent arithmetic.
+	e.estimate += units.Energy(int64(cost-e.estimate) * e.alphaPct / 100)
+}
+
+// Estimate returns the current activation-cost prediction.
+func (e *ActivationEstimator) Estimate() units.Energy { return e.estimate }
+
+// Observations returns the number of episodes folded in.
+func (e *ActivationEstimator) Observations() int64 { return e.observations }
+
+// Bounds returns the extremes observed so far (min is MaxEnergy before
+// the first observation).
+func (e *ActivationEstimator) Bounds() (min, max units.Energy) { return e.min, e.max }
+
+// String renders the estimator state.
+func (e *ActivationEstimator) String() string {
+	return fmt.Sprintf("activation≈%v after %d episodes (observed %v–%v)",
+		e.estimate, e.observations, e.min, e.max)
+}

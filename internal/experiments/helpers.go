@@ -1,0 +1,11 @@
+package experiments
+
+import (
+	"repro/internal/label"
+)
+
+// labelPublic is a tiny indirection so experiment files read cleanly.
+func labelPublic() label.Label { return label.Public() }
+
+// labelPublicPriv is the unprivileged caller.
+func labelPublicPriv() label.Priv { return label.Priv{} }

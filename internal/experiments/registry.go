@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one experiment with default options.
+type Runner func() Result
+
+// registry maps experiment IDs to runners with default (paper-scale)
+// options.
+var registry = map[string]Runner{
+	"baseline":   BaselineComparison,
+	"fig3":       func() Result { return Fig3RadioFlows(DefaultFig3Options()) },
+	"fig4":       func() Result { return Fig4RadioActivation(DefaultFig4Options()) },
+	"fig9":       func() Result { return Fig9Isolation(DefaultFig9Options()) },
+	"fig10":      func() Result { return Fig10ViewerNoScaling(DefaultViewerOptions(false)) },
+	"fig11":      func() Result { return Fig11ViewerScaling(DefaultViewerOptions(true)) },
+	"fig12a":     func() Result { return Fig12Foreground(DefaultFig12aOptions()) },
+	"fig12b":     func() Result { return Fig12Foreground(DefaultFig12bOptions()) },
+	"table1":     func() Result { return Table1Cooperative(DefaultTable1Options()) },
+	"gallery":    GraphGallery,
+	"powermodel": PowerModel,
+}
+
+// Names returns the registered experiment IDs, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the named experiment.
+func Run(name string) (Result, error) {
+	r, ok := registry[name]
+	if !ok {
+		return Result{}, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r(), nil
+}
+
+// RunAll executes every experiment in name order.
+func RunAll() []Result {
+	var out []Result
+	for _, n := range Names() {
+		out = append(out, registry[n]())
+	}
+	return out
+}

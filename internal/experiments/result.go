@@ -1,0 +1,138 @@
+// Package experiments contains one runner per table and figure of the
+// Cinder paper's evaluation (§6) plus the radio characterization of §4.3
+// (Figures 3 and 4). Each runner builds a fresh simulated kernel, drives
+// the exact workload the paper describes, and returns a structured
+// Result: the regenerated data series/tables plus paper-vs-measured
+// checks that encode the figure's qualitative claims (who wins, by what
+// factor, where the shape bends).
+//
+// cmd/cinder-sim prints Results; the repository's benchmarks re-run the
+// same runners under testing.B; EXPERIMENTS.md is generated from the
+// checks.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Table is a printable rows-and-columns artifact (one per paper table,
+// and grid figures like Fig. 3 render as tables too).
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Format renders the table with aligned columns.
+func (t Table) Format() string {
+	var b strings.Builder
+	b.WriteString(t.Title + "\n")
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Check is one paper-vs-measured acceptance criterion.
+type Check struct {
+	// Name states the claim, e.g. "coop saves ≈12.5% total energy".
+	Name string
+	// Paper is the paper's value/shape.
+	Paper string
+	// Measured is what the reproduction produced.
+	Measured string
+	// Pass reports whether the shape criterion held.
+	Pass bool
+}
+
+// Result is a completed experiment.
+type Result struct {
+	// ID names the paper artifact, e.g. "fig9", "table1".
+	ID string
+	// Title is the figure/table caption, abbreviated.
+	Title string
+	// Headline is the one-line outcome.
+	Headline string
+	// Tables are the regenerated tabular artifacts.
+	Tables []Table
+	// Series are the regenerated time series (power traces, reserve
+	// levels).
+	Series []*trace.Series
+	// Checks hold the paper-vs-measured criteria.
+	Checks []Check
+}
+
+// Passed reports whether all checks passed.
+func (r Result) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Format renders the result for terminal output. Plots are included
+// when plots is true.
+func (r Result) Format(plots bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s — %s ===\n%s\n\n", r.ID, r.Title, r.Headline)
+	for _, t := range r.Tables {
+		b.WriteString(t.Format())
+		b.WriteString("\n")
+	}
+	if plots {
+		for _, s := range r.Series {
+			b.WriteString(trace.Plot(s, trace.PlotConfig{}))
+			b.WriteString("\n")
+		}
+	}
+	if len(r.Checks) > 0 {
+		b.WriteString("paper-vs-measured:\n")
+		for _, c := range r.Checks {
+			status := "PASS"
+			if !c.Pass {
+				status = "FAIL"
+			}
+			fmt.Fprintf(&b, "  [%s] %s — paper: %s; measured: %s\n",
+				status, c.Name, c.Paper, c.Measured)
+		}
+	}
+	return b.String()
+}
+
+// check constructs a Check with a formatted measured value.
+func check(name, paper string, pass bool, measuredFmt string, args ...any) Check {
+	return Check{Name: name, Paper: paper, Measured: fmt.Sprintf(measuredFmt, args...), Pass: pass}
+}

@@ -1,0 +1,250 @@
+// Package integration exercises the full stack — kernel, graph,
+// scheduler, radio, netd, applications, decay — in combined scenarios
+// that no single package test covers: whole-system conservation, battery
+// exhaustion, policy composition, and the §7.1 billing comparison
+// end-to-end.
+package integration
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/kernel"
+	"repro/internal/label"
+	"repro/internal/netd"
+	"repro/internal/radio"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// fullSystem builds kernel + radio + netd.
+func fullSystem(t *testing.T, cfg kernel.Config) (*kernel.Kernel, *radio.Radio, *netd.Netd) {
+	t.Helper()
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	k := kernel.New(cfg)
+	r := radio.New(k.Eng, k.Graph, k.Root, k.KernelPriv(), radio.Config{Profile: k.Profile})
+	k.AddDevice(r)
+	n, err := netd.New(k, r, netd.Config{Cooperative: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, r, n
+}
+
+func TestWholeSystemConservation(t *testing.T) {
+	// Browser + plugin + task manager + two pollers + radio + decay,
+	// two simulated minutes: conservation must hold exactly.
+	k, _, _ := fullSystem(t, kernel.Config{})
+	if _, err := apps.NewBrowser(k, k.Root, k.KernelPriv(), k.Battery(), apps.BrowserConfig{
+		Rate:       units.Milliwatts(300),
+		PluginRate: units.Milliwatts(30),
+		Reclaim:    true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tm, err := apps.NewTaskManager(k, k.Root, k.KernelPriv(), k.Battery(), apps.TaskManagerConfig{
+		ForegroundRate: units.Milliwatts(137),
+		BackgroundRate: units.Milliwatts(14),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tm.Manage("A", units.Milliwatts(7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tm.Manage("B", units.Milliwatts(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tm.SetForeground("A"); err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []struct {
+		name  string
+		phase units.Time
+	}{{"rss", units.Second}, {"mail", 16 * units.Second}} {
+		if _, err := apps.NewPoller(k, k.Root, spec.name, k.KernelPriv(), k.Battery(), apps.PollerConfig{
+			Interval: 30 * units.Second, Phase: spec.phase,
+			Rate: units.Milliwatts(150), ReqBytes: 200, RespBytes: 4096,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.Run(2 * units.Minute)
+	if ce := k.Graph.ConservationError(); ce != 0 {
+		t.Fatalf("conservation error %v after combined workload", ce)
+	}
+	if k.Consumed() == 0 {
+		t.Fatal("nothing consumed")
+	}
+}
+
+func TestBatteryExhaustion(t *testing.T) {
+	// A tiny battery drains to zero; consumption then stops (the device
+	// is dead) and nothing goes negative.
+	k := kernel.New(kernel.Config{
+		Seed:            2,
+		BatteryCapacity: 10 * units.Joule, // ≈14 s of idle draw
+		DecayHalfLife:   -1,
+	})
+	res := k.CreateReserve(k.Root, "app", label.Public())
+	if err := k.Graph.Transfer(k.KernelPriv(), k.Battery(), res, units.Joule); err != nil {
+		t.Fatal(err)
+	}
+	k.Spawn(k.Root, "spin", label.Priv{}, nil, res)
+	k.Run(30 * units.Second)
+
+	lvl, err := k.Battery().Level(k.KernelPriv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl < 0 {
+		t.Fatalf("battery negative: %v", lvl)
+	}
+	if lvl > 200*units.Millijoule {
+		t.Fatalf("battery not exhausted: %v", lvl)
+	}
+	if ce := k.Graph.ConservationError(); ce != 0 {
+		t.Fatalf("conservation error %v", ce)
+	}
+}
+
+func TestDecayReturnsHoardToBattery(t *testing.T) {
+	// An app hoards 100 J and exits; after several half-lives the
+	// energy is back in the battery (minus baseline burn).
+	k := kernel.New(kernel.Config{Seed: 3})
+	res := k.CreateReserve(k.Root, "hoard", label.Public())
+	if err := k.Graph.Transfer(k.KernelPriv(), k.Battery(), res, 100*units.Joule); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(40 * units.Minute) // 4 half-lives
+	lvl, _ := res.Level(label.Priv{})
+	if lvl > 8*units.Joule { // 100 × 2⁻⁴ = 6.25 J
+		t.Fatalf("hoard = %v after 4 half-lives, want ≈6.25 J", lvl)
+	}
+	if ce := k.Graph.ConservationError(); ce != 0 {
+		t.Fatalf("conservation error %v", ce)
+	}
+}
+
+func TestEnergywrapConfinesBrowserStack(t *testing.T) {
+	// Policy composition: the entire browser (and its plugin) wrapped
+	// in an energywrap envelope. The stack's total consumption cannot
+	// exceed the envelope rate.
+	k, _, _ := fullSystem(t, kernel.Config{DecayHalfLife: -1})
+	envRate := units.Milliwatts(50)
+	env, _, err := k.Wrap(k.Root, "envelope", k.KernelPriv(), k.Battery(), envRate, label.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := apps.NewBrowser(k, k.Root, k.KernelPriv(), env, apps.BrowserConfig{
+		Rate:       units.Milliwatts(690), // asks for far more than the envelope
+		PluginRate: units.Milliwatts(70),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run(20 * units.Second)
+	total := b.Thread.CPUConsumed() + b.Plugin.Thread.CPUConsumed()
+	budget := envRate.Over(20*units.Second) * 105 / 100
+	if total > budget {
+		t.Fatalf("wrapped browser stack consumed %v, envelope %v", total, budget)
+	}
+	if total < budget/3 {
+		t.Fatalf("wrapped stack consumed %v, suspiciously little of %v", total, budget)
+	}
+}
+
+func TestGateBillingDivergence(t *testing.T) {
+	// The §7.1 comparison end-to-end: the same poller workload under
+	// BillCaller vs BillDaemon. Under Cinder-HiStar semantics the app
+	// reserve pays the data costs; under Cinder-Linux the daemon pool
+	// absorbs them and the app's reserve stays (incorrectly) fuller.
+	run := func(mode kernel.BillingMode) units.Energy {
+		k := kernel.New(kernel.Config{Seed: 4, DecayHalfLife: -1, Billing: mode})
+		r := radio.New(k.Eng, k.Graph, k.Root, k.KernelPriv(), radio.Config{Profile: k.Profile})
+		k.AddDevice(r)
+		if _, err := netd.New(k, r, netd.Config{Cooperative: false}); err != nil {
+			t.Fatal(err)
+		}
+		p, err := apps.NewPoller(k, k.Root, "app", k.KernelPriv(), k.Battery(), apps.PollerConfig{
+			Interval: 20 * units.Second, Phase: units.Second,
+			Rate: units.Milliwatts(150), ReqBytes: 500, RespBytes: 32 << 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.Run(2 * units.Minute)
+		st, err := p.Reserve.Stats(label.Priv{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Consumed
+	}
+	hiStar := run(kernel.BillCaller)
+	linux := run(kernel.BillDaemon)
+	if hiStar <= linux {
+		t.Fatalf("caller-billing consumption %v should exceed daemon-billing %v "+
+			"(data costs must land on the app only under HiStar semantics)",
+			hiStar, linux)
+	}
+}
+
+func TestForegroundSwitchDuringNetworkActivity(t *testing.T) {
+	// The task manager demotes an app mid-poll; the blocked thread
+	// wakes, finds itself on a trickle, and still completes its next
+	// poll eventually. Exercises Block/Wake vs tap-rate interactions.
+	k, r, _ := fullSystem(t, kernel.Config{DecayHalfLife: -1})
+	p, err := apps.NewPoller(k, k.Root, "mail", k.KernelPriv(), k.Battery(), apps.PollerConfig{
+		Interval: 30 * units.Second, Phase: units.Second,
+		Rate: units.Milliwatts(400), ReqBytes: 200, RespBytes: 2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Throttle the tap at t=45 s (mid-second-cycle): activations now
+	// take ≈80 s of accumulation instead of ≈30 s.
+	k.Eng.At(45*units.Second, func(_ *sim.Engine) {
+		if err := p.Tap.SetRate(k.KernelPriv(), units.Milliwatts(150)); err != nil {
+			t.Errorf("SetRate: %v", err)
+		}
+	})
+	k.Run(10 * units.Minute)
+	if p.Completed < 4 {
+		t.Fatalf("polls completed = %d, want ≥4 despite throttling", p.Completed)
+	}
+	if r.Stats().Activations == 0 {
+		t.Fatal("radio never activated")
+	}
+}
+
+func TestSchedulerStarvationFreedomUnderLoad(t *testing.T) {
+	// Twenty equally-funded spinners share the CPU within 2 % of each
+	// other over 30 s — round-robin fairness at scale.
+	k := kernel.New(kernel.Config{Seed: 6, DecayHalfLife: -1,
+		BatteryCapacity: 100 * units.Kilojoule})
+	var threads []*sched.Thread
+	for i := 0; i < 20; i++ {
+		res := k.CreateReserve(k.Root, "r", label.Public())
+		if err := k.Graph.Transfer(k.KernelPriv(), k.Battery(), res, units.Kilojoule); err != nil {
+			t.Fatal(err)
+		}
+		_, th := k.Spawn(k.Root, "spin", label.Priv{}, nil, res)
+		threads = append(threads, th)
+	}
+	k.Run(30 * units.Second)
+	min, max := threads[0].TicksRun(), threads[0].TicksRun()
+	for _, th := range threads {
+		if th.TicksRun() < min {
+			min = th.TicksRun()
+		}
+		if th.TicksRun() > max {
+			max = th.TicksRun()
+		}
+	}
+	if max-min > max/50 {
+		t.Fatalf("unfair: ticks range [%d, %d]", min, max)
+	}
+}

@@ -1,0 +1,251 @@
+// Package kernel assembles the Cinder simulation: it owns the virtual
+// clock, the kernel object table, the resource-consumption graph, the
+// energy-aware scheduler, the device power model, and the gate IPC
+// mechanism whose billing semantics are the paper's §5.5.1 ("the caller
+// of a system-wide service, like netd, is billed for resource
+// consumption it causes, even while executing in the other address
+// space").
+//
+// A Kernel registers three periodic activities on its engine, mirroring
+// the paper's implementation notes:
+//
+//   - the scheduler runs every tick (1 ms quantum);
+//   - taps flow in batch every TapBatch (10 ms), "to minimize scheduling
+//     and context-switch overheads" (§3.3);
+//   - the global half-life decay applies every second (§5.2.2).
+//
+// Baseline device power (the Dream's 699 mW idle, plus 555 mW when the
+// backlight is on) is consumed directly from the battery each batch, so
+// the attached power meter reproduces the Agilent traces.
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kobj"
+	"repro/internal/label"
+	"repro/internal/power"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// DefaultTapBatch is the tap flow batching interval.
+const DefaultTapBatch = 10 * units.Millisecond
+
+// BillingMode selects how gate calls attribute resource consumption
+// (§7.1).
+type BillingMode uint8
+
+const (
+	// BillCaller is Cinder-HiStar semantics: the calling thread's
+	// reserve pays for work a daemon performs on its behalf.
+	BillCaller BillingMode = iota
+	// BillDaemon reproduces the Cinder-Linux problem: message-passing
+	// IPC cannot identify the caller, so consumption lands on the
+	// daemon's own reserve.
+	BillDaemon
+)
+
+// Config parameterizes a Kernel.
+type Config struct {
+	// Profile is the device power model; defaults to power.Dream().
+	Profile power.Profile
+	// Seed feeds the deterministic random source.
+	Seed int64
+	// BatteryCapacity overrides the profile's battery.
+	BatteryCapacity units.Energy
+	// DecayHalfLife overrides core.DefaultHalfLife; negative disables.
+	DecayHalfLife units.Time
+	// TapBatch overrides DefaultTapBatch.
+	TapBatch units.Time
+	// Billing selects gate billing semantics; default BillCaller.
+	Billing BillingMode
+	// StrictHoarding enables the §5.2.2 fundamental anti-hoarding rule.
+	StrictHoarding bool
+	// BacklightOn adds the backlight draw to the baseline.
+	BacklightOn bool
+}
+
+// Kernel is one simulated Cinder instance.
+type Kernel struct {
+	Eng     *sim.Engine
+	Table   *kobj.Table
+	Root    *kobj.Container
+	Graph   *core.Graph
+	Sched   *sched.Scheduler
+	Profile power.Profile
+
+	billing     BillingMode
+	kpriv       label.Priv
+	sysCategory label.Category
+	nextCat     label.Category
+	gates       map[string]*Gate
+	baseCarry   int64
+	backlight   bool
+	// devices receive a callback each tick so peripherals (the radio)
+	// can advance their state machines and bill their draw.
+	devices []Device
+}
+
+// Device is a peripheral that advances once per tick.
+type Device interface {
+	DeviceTick(now units.Time, dt units.Time)
+}
+
+// New builds a kernel and registers its periodic activities on a fresh
+// engine.
+func New(cfg Config) *Kernel {
+	if cfg.Profile.Name == "" {
+		cfg.Profile = power.Dream()
+	}
+	if cfg.BatteryCapacity == 0 {
+		cfg.BatteryCapacity = cfg.Profile.BatteryCapacity
+	}
+	if cfg.TapBatch == 0 {
+		cfg.TapBatch = DefaultTapBatch
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	tbl := kobj.NewTable()
+	root := kobj.NewContainer(tbl, nil, "root", label.Public())
+
+	k := &Kernel{
+		Eng:       eng,
+		Table:     tbl,
+		Root:      root,
+		Profile:   cfg.Profile,
+		billing:   cfg.Billing,
+		gates:     make(map[string]*Gate),
+		nextCat:   2, // category 1 is the kernel's
+		backlight: cfg.BacklightOn,
+	}
+	k.sysCategory = 1
+	k.kpriv = label.NewPriv(k.sysCategory).WithClearance(label.Level3)
+
+	batteryLabel := label.Public().With(k.sysCategory, label.Level2)
+	k.Graph = core.NewGraph(tbl, root, batteryLabel, core.Config{
+		BatteryCapacity: cfg.BatteryCapacity,
+		DecayHalfLife:   cfg.DecayHalfLife,
+		StrictHoarding:  cfg.StrictHoarding,
+	})
+	k.Sched = sched.New(tbl, cfg.Profile.CPUActive)
+
+	tick := eng.Tick()
+	eng.Every("kernel:devices", tick, func(e *sim.Engine) {
+		for _, d := range k.devices {
+			d.DeviceTick(e.Now(), tick)
+		}
+	})
+	eng.Every("kernel:sched", tick, func(e *sim.Engine) {
+		k.Sched.Tick(e.Now(), tick)
+	})
+	eng.Every("kernel:taps", cfg.TapBatch, func(*sim.Engine) {
+		k.Graph.Flow(cfg.TapBatch)
+	})
+	eng.Every("kernel:baseline", cfg.TapBatch, func(*sim.Engine) {
+		k.billBaseline(cfg.TapBatch)
+	})
+	eng.Every("kernel:decay", units.Second, func(*sim.Engine) {
+		k.Graph.Decay(units.Second)
+	})
+	return k
+}
+
+// billBaseline consumes the idle (plus backlight) draw directly from the
+// battery, where the power meter observes it.
+func (k *Kernel) billBaseline(dt units.Time) {
+	p := k.Profile.Idle
+	if k.backlight {
+		p += k.Profile.Backlight
+	}
+	var e units.Energy
+	e, k.baseCarry = p.OverRem(dt, k.baseCarry)
+	if e > 0 {
+		// The battery is the kernel's own reserve; if it is empty the
+		// device is dead and the simulation keeps running at zero cost.
+		_ = k.Graph.Battery().Consume(k.kpriv, e)
+	}
+}
+
+// SetBacklight toggles the backlight contribution to baseline draw.
+func (k *Kernel) SetBacklight(on bool) { k.backlight = on }
+
+// KernelPriv returns the kernel's privilege set (owns the system
+// category). Tests and trusted daemons (netd, the task manager) receive
+// derived privileges instead.
+func (k *Kernel) KernelPriv() label.Priv { return k.kpriv }
+
+// NewCategory allocates a fresh privilege category (HiStar's category
+// allocation syscall).
+func (k *Kernel) NewCategory() label.Category {
+	c := k.nextCat
+	k.nextCat++
+	return c
+}
+
+// AddDevice registers a peripheral for per-tick callbacks.
+func (k *Kernel) AddDevice(d Device) { k.devices = append(k.devices, d) }
+
+// Consumed returns total energy consumed across the system — what the
+// bench supply has delivered. Experiments attach power.Meter to this.
+func (k *Kernel) Consumed() units.Energy { return k.Graph.Consumed() }
+
+// Battery returns the root reserve.
+func (k *Kernel) Battery() *core.Reserve { return k.Graph.Battery() }
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() units.Time { return k.Eng.Now() }
+
+// Run advances the simulation by d.
+func (k *Kernel) Run(d units.Time) { k.Eng.Run(d) }
+
+// NewMeter attaches a power meter to the kernel's consumption counter,
+// reproducing the Agilent E3644A setup.
+func (k *Kernel) NewMeter(name string) *power.Meter {
+	return power.NewMeter(k.Eng, name, k.Consumed)
+}
+
+// CreateReserve is the reserve_create syscall (Fig. 5): a new, empty
+// reserve in the given container.
+func (k *Kernel) CreateReserve(parent *kobj.Container, name string, lbl label.Label) *core.Reserve {
+	return k.Graph.NewReserve(parent, name, lbl, core.ReserveOpts{})
+}
+
+// CreateReserveOpts creates a reserve with explicit options (debt,
+// decay exemption) for trusted daemons.
+func (k *Kernel) CreateReserveOpts(parent *kobj.Container, name string, lbl label.Label, opts core.ReserveOpts) *core.Reserve {
+	return k.Graph.NewReserve(parent, name, lbl, opts)
+}
+
+// CreateTap is the tap_create syscall (Fig. 5).
+func (k *Kernel) CreateTap(parent *kobj.Container, name string, p label.Priv, src, sink *core.Reserve, lbl label.Label) (*core.Tap, error) {
+	return k.Graph.NewTap(parent, name, p, src, sink, lbl)
+}
+
+// Wrap implements the energywrap primitive (§5.1): create a reserve fed
+// from `from` by a constant tap at `rate`, both inside parent. The
+// returned reserve is intended as a child thread's active reserve and is
+// public (the child must be able to consume from it); tapLbl protects
+// the tap so only the wrapper can change the rate. The caller needs use
+// privileges on `from`.
+func (k *Kernel) Wrap(parent *kobj.Container, name string, p label.Priv, from *core.Reserve, rate units.Power, tapLbl label.Label) (*core.Reserve, *core.Tap, error) {
+	res := k.Graph.NewReserve(parent, name+"-reserve", label.Public(), core.ReserveOpts{})
+	tap, err := k.Graph.NewTap(parent, name+"-tap", p, from, res, tapLbl)
+	if err != nil {
+		return nil, nil, fmt.Errorf("kernel: wrap %q: %w", name, err)
+	}
+	if err := tap.SetRate(p, rate); err != nil {
+		return nil, nil, fmt.Errorf("kernel: wrap %q: %w", name, err)
+	}
+	return res, tap, nil
+}
+
+// Spawn creates a process-like unit: a container holding a thread that
+// draws from the given reserves. It mirrors fork + set_active_reserve +
+// exec in Fig. 5.
+func (k *Kernel) Spawn(parent *kobj.Container, name string, p label.Priv, runner sched.Runner, reserves ...*core.Reserve) (*kobj.Container, *sched.Thread) {
+	c := kobj.NewContainer(k.Table, parent, name, label.Public())
+	th := k.Sched.NewThread(c, name, label.Public(), p, runner, reserves...)
+	return c, th
+}

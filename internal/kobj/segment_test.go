@@ -1,0 +1,154 @@
+package kobj
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/label"
+)
+
+func segRig() (*Table, *Container) {
+	tbl := NewTable()
+	return tbl, NewContainer(tbl, nil, "root", label.Public())
+}
+
+func TestSegmentReadWrite(t *testing.T) {
+	tbl, root := segRig()
+	s := NewSegment(tbl, root, 16, label.Public())
+	if s.Size() != 16 {
+		t.Fatalf("Size = %d", s.Size())
+	}
+	if _, err := s.Write(label.Priv{}, 4, []byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := s.Read(label.Priv{}, 4, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte("abcd")) {
+		t.Fatalf("read %q", buf)
+	}
+}
+
+func TestSegmentBounds(t *testing.T) {
+	tbl, root := segRig()
+	s := NewSegment(tbl, root, 8, label.Public())
+	if _, err := s.Write(label.Priv{}, 6, []byte("toolong")); !errors.Is(err, ErrSegmentBounds) {
+		t.Fatalf("overrun err = %v", err)
+	}
+	if _, err := s.Read(label.Priv{}, 9, make([]byte, 1)); !errors.Is(err, ErrSegmentBounds) {
+		t.Fatalf("oob read err = %v", err)
+	}
+	if _, err := s.Read(label.Priv{}, -1, make([]byte, 1)); !errors.Is(err, ErrSegmentBounds) {
+		t.Fatalf("negative read err = %v", err)
+	}
+}
+
+func TestSegmentLabels(t *testing.T) {
+	tbl, root := segRig()
+	const cat label.Category = 3
+	owner := label.NewPriv(cat)
+	s := NewSegment(tbl, root, 8, label.Public().With(cat, label.Level2))
+	var stranger label.Priv
+	if _, err := s.Read(stranger, 0, make([]byte, 1)); err == nil {
+		t.Fatal("stranger read protected segment")
+	}
+	if _, err := s.Write(stranger, 0, []byte{1}); err == nil {
+		t.Fatal("stranger wrote protected segment")
+	}
+	if _, err := s.Write(owner, 0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentResizePreserves(t *testing.T) {
+	tbl, root := segRig()
+	s := NewSegment(tbl, root, 4, label.Public())
+	if _, err := s.Write(label.Priv{}, 0, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	s.Resize(8)
+	buf := make([]byte, 4)
+	if _, err := s.Read(label.Priv{}, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "data" {
+		t.Fatalf("after grow: %q", buf)
+	}
+	s.Resize(2)
+	if s.Size() != 2 {
+		t.Fatalf("after shrink: %d", s.Size())
+	}
+}
+
+func TestAddressSpaceMapLookup(t *testing.T) {
+	tbl, root := segRig()
+	as := NewAddressSpace(tbl, root, label.Public())
+	text := NewSegment(tbl, root, 0x1000, label.Public())
+	heap := NewSegment(tbl, root, 0x2000, label.Public())
+	if err := as.Map(label.Priv{}, 0x4000, text, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Map(label.Priv{}, 0x8000, heap, true); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := as.Lookup(0x8123)
+	if !ok || m.Segment != heap || !m.Writable {
+		t.Fatalf("Lookup(0x8123) = %+v, %v", m, ok)
+	}
+	if _, ok := as.Lookup(0x3fff); ok {
+		t.Fatal("unmapped address resolved")
+	}
+	if _, ok := as.Lookup(0x5000); ok {
+		t.Fatal("address past text resolved")
+	}
+	if as.ResidentBytes() != 0x3000 {
+		t.Fatalf("ResidentBytes = %#x", as.ResidentBytes())
+	}
+}
+
+func TestAddressSpaceOverlapRejected(t *testing.T) {
+	tbl, root := segRig()
+	as := NewAddressSpace(tbl, root, label.Public())
+	a := NewSegment(tbl, root, 0x1000, label.Public())
+	b := NewSegment(tbl, root, 0x1000, label.Public())
+	if err := as.Map(label.Priv{}, 0x4000, a, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Map(label.Priv{}, 0x4800, b, false); !errors.Is(err, ErrMapped) {
+		t.Fatalf("overlap err = %v", err)
+	}
+}
+
+func TestAddressSpaceUnmap(t *testing.T) {
+	tbl, root := segRig()
+	as := NewAddressSpace(tbl, root, label.Public())
+	a := NewSegment(tbl, root, 0x1000, label.Public())
+	if err := as.Map(label.Priv{}, 0x4000, a, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Unmap(label.Priv{}, 0x4000); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := as.Lookup(0x4000); ok {
+		t.Fatal("mapping survived unmap")
+	}
+	if err := as.Unmap(label.Priv{}, 0x4000); err == nil {
+		t.Fatal("double unmap succeeded")
+	}
+}
+
+func TestMapWritableRequiresSegmentModify(t *testing.T) {
+	tbl, root := segRig()
+	const cat label.Category = 6
+	as := NewAddressSpace(tbl, root, label.Public())
+	protected := NewSegment(tbl, root, 0x1000, label.Public().With(cat, label.Level2))
+	reader := label.Priv{}.WithClearance(label.Level3) // can observe, not modify
+	if err := as.Map(reader, 0x1000, protected, true); err == nil {
+		t.Fatal("writable mapping of protected segment allowed")
+	}
+	if err := as.Map(reader, 0x1000, protected, false); err != nil {
+		t.Fatalf("read-only mapping rejected: %v", err)
+	}
+}

@@ -1,0 +1,40 @@
+package label
+
+import "testing"
+
+// FuzzLatticeConsistency checks the §3.5 access-control invariants over
+// arbitrary label/privilege encodings: CanModify implies CanObserve,
+// CanUse is their conjunction, and owning a category never removes a
+// right.
+func FuzzLatticeConsistency(f *testing.F) {
+	f.Add(uint8(1), uint8(3), uint8(2), uint8(1), uint8(0), false)
+	f.Add(uint8(0), uint8(7), uint8(3), uint8(3), uint8(2), true)
+	f.Add(uint8(3), uint8(1), uint8(0), uint8(0), uint8(1), false)
+	f.Fuzz(func(t *testing.T, def, cat, lvl, clearance, ownCat uint8, own bool) {
+		l := New(Level(def%4), map[Category]Level{
+			Category(cat%8 + 1): Level(lvl % 4),
+		})
+		p := Priv{}.WithClearance(Level(clearance % 4))
+		if own {
+			p = p.WithOwned(Category(ownCat%8 + 1))
+		}
+		if p.CanModify(l) && !p.CanObserve(l) {
+			t.Fatalf("modify without observe: %v on %v", p, l)
+		}
+		if p.CanUse(l) != (p.CanObserve(l) && p.CanModify(l)) {
+			t.Fatalf("CanUse inconsistent: %v on %v", p, l)
+		}
+		// Adding ownership is monotone.
+		stronger := p.WithOwned(Category(cat%8 + 1))
+		if p.CanObserve(l) && !stronger.CanObserve(l) {
+			t.Fatalf("ownership removed observe: %v on %v", p, l)
+		}
+		if p.CanModify(l) && !stronger.CanModify(l) {
+			t.Fatalf("ownership removed modify: %v on %v", p, l)
+		}
+		// Equality is reflexive after normalization.
+		if !l.Equal(l) {
+			t.Fatalf("label not equal to itself: %v", l)
+		}
+	})
+}

@@ -1,0 +1,306 @@
+// Package label implements a simplified HiStar-style information-flow
+// label model, sufficient to reproduce the access-control behaviour the
+// Cinder paper relies on (§3.5): every kernel object — including reserves
+// and taps — carries a label, and operations require observe and/or
+// modify privileges relative to that label.
+//
+// A label maps categories to secrecy/integrity levels 0–3, with a default
+// level for unlisted categories. A thread additionally owns a set of
+// categories (HiStar's ★ level), granting it the right to bypass the
+// level comparison for those categories. This is the subset of HiStar's
+// model that Cinder's evaluation exercises: creating objects with a
+// restrictive label, embedding privileges in taps, and checking
+// observe/modify rights on every reserve operation.
+package label
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Category is an opaque privilege category, allocated by the kernel.
+// Category 0 is never allocated and may be used as a sentinel.
+type Category uint64
+
+// Level is a per-category secrecy/integrity level.
+type Level uint8
+
+// Levels as in HiStar. For the purposes of Cinder's resource objects the
+// useful reading is: a thread whose level for category c is below an
+// object's level cannot observe the object, and modification additionally
+// requires the object's level not to exceed the thread's.
+const (
+	Level0 Level = iota // lowest
+	Level1              // default for most objects
+	Level2
+	Level3 // highest
+	// Star is thread-side ownership of a category: it dominates and is
+	// dominated by every level, i.e. it grants full bypass for that
+	// category. Star never appears in an object label.
+	Star Level = 255
+)
+
+// DefaultLevel is the level assumed for categories not present in a
+// label.
+const DefaultLevel = Level1
+
+// Label is an immutable mapping from categories to levels plus a default.
+// The zero value is the "public" label: default Level1, no exceptions.
+type Label struct {
+	def     Level
+	entries map[Category]Level
+}
+
+// New returns a label with the given default level and per-category
+// exceptions. Star entries are rejected: stars belong to privilege sets
+// (Priv), not object labels.
+func New(def Level, entries map[Category]Level) Label {
+	if def == Star {
+		panic("label: Star is not a valid default level")
+	}
+	var m map[Category]Level
+	if len(entries) > 0 {
+		m = make(map[Category]Level, len(entries))
+		for c, l := range entries {
+			if l == Star {
+				panic("label: Star is not a valid object level")
+			}
+			if l == def {
+				continue // normalize: drop redundant entries
+			}
+			m[c] = l
+		}
+		if len(m) == 0 {
+			m = nil
+		}
+	}
+	return Label{def: def, entries: m}
+}
+
+// Public returns the default label carried by unrestricted objects.
+func Public() Label { return Label{def: DefaultLevel} }
+
+// Default returns the label's default level.
+func (l Label) Default() Level { return l.def }
+
+// Level returns the level for category c.
+func (l Label) Level(c Category) Level {
+	if lv, ok := l.entries[c]; ok {
+		return lv
+	}
+	return l.def
+}
+
+// With returns a copy of the label with category c set to level lv.
+func (l Label) With(c Category, lv Level) Label {
+	m := make(map[Category]Level, len(l.entries)+1)
+	for k, v := range l.entries {
+		m[k] = v
+	}
+	m[c] = lv
+	return New(l.def, m)
+}
+
+// Categories returns the categories with non-default levels, sorted.
+func (l Label) Categories() []Category {
+	cs := make([]Category, 0, len(l.entries))
+	for c := range l.entries {
+		cs = append(cs, c)
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	return cs
+}
+
+// Equal reports whether two labels are identical (same default and same
+// normalized exception set).
+func (l Label) Equal(o Label) bool {
+	if l.def != o.def || len(l.entries) != len(o.entries) {
+		return false
+	}
+	for c, lv := range l.entries {
+		olv, ok := o.entries[c]
+		if !ok || olv != lv {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the label as e.g. "{1, c3=2, c7=0}".
+func (l Label) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "{%d", l.def)
+	for _, c := range l.Categories() {
+		fmt.Fprintf(&b, ", c%d=%d", c, l.entries[c])
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// Priv is a thread's privilege set: the categories it owns (★) plus its
+// clearance level. The zero value owns nothing and has the default
+// clearance, which suffices to use public objects.
+type Priv struct {
+	owned        map[Category]bool
+	clearance    Level
+	clearanceSet bool
+}
+
+// NewPriv returns a privilege set owning the given categories with
+// clearance DefaultLevel.
+func NewPriv(owned ...Category) Priv {
+	p := Priv{clearance: DefaultLevel, clearanceSet: true}
+	if len(owned) > 0 {
+		p.owned = make(map[Category]bool, len(owned))
+		for _, c := range owned {
+			p.owned[c] = true
+		}
+	}
+	return p
+}
+
+// WithClearance returns a copy of the privilege set with the given
+// clearance level.
+func (p Priv) WithClearance(lv Level) Priv {
+	if lv == Star {
+		panic("label: Star is not a valid clearance")
+	}
+	q := p.clone()
+	q.clearance = lv
+	q.clearanceSet = true
+	return q
+}
+
+// WithOwned returns a copy that additionally owns the given categories.
+func (p Priv) WithOwned(cs ...Category) Priv {
+	q := p.clone()
+	if q.owned == nil {
+		q.owned = make(map[Category]bool, len(cs))
+	}
+	for _, c := range cs {
+		q.owned[c] = true
+	}
+	return q
+}
+
+// Union returns a privilege set owning everything either set owns, with
+// the higher of the two clearances. It models a tap's embedded
+// privileges combining with its creator's (§3.5: "taps can have
+// privileges embedded in them").
+func (p Priv) Union(o Priv) Priv {
+	q := p.clone()
+	if q.owned == nil && len(o.owned) > 0 {
+		q.owned = make(map[Category]bool, len(o.owned))
+	}
+	for c := range o.owned {
+		q.owned[c] = true
+	}
+	if o.Clearance() > q.Clearance() {
+		q.clearance = o.Clearance()
+		q.clearanceSet = true
+	}
+	return q
+}
+
+func (p Priv) clone() Priv {
+	q := Priv{clearance: p.clearance, clearanceSet: p.clearanceSet}
+	if len(p.owned) > 0 {
+		q.owned = make(map[Category]bool, len(p.owned))
+		for c := range p.owned {
+			q.owned[c] = true
+		}
+	}
+	return q
+}
+
+// Owns reports whether the set owns category c.
+func (p Priv) Owns(c Category) bool { return p.owned[c] }
+
+// Clearance returns the clearance level. A privilege set whose clearance
+// was never set explicitly (including the zero value) has DefaultLevel.
+func (p Priv) Clearance() Level {
+	if !p.clearanceSet {
+		return DefaultLevel
+	}
+	return p.clearance
+}
+
+// Owned returns the owned categories, sorted.
+func (p Priv) Owned() []Category {
+	cs := make([]Category, 0, len(p.owned))
+	for c := range p.owned {
+		cs = append(cs, c)
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	return cs
+}
+
+// CanObserve reports whether a thread with privileges p may observe an
+// object labelled l: for every category, either the thread owns it or
+// the object's level does not exceed the thread's clearance.
+//
+// In Cinder terms (§3.5), observing a reserve is required even for a
+// failed consumption, because failure reveals that the level is zero.
+func (p Priv) CanObserve(l Label) bool {
+	if !p.levelOK(l.def) {
+		// The default applies to infinitely many categories the thread
+		// cannot own, so an unobservable default is disqualifying.
+		return false
+	}
+	for c, lv := range l.entries {
+		if p.Owns(c) {
+			continue
+		}
+		if !p.levelOK(lv) {
+			return false
+		}
+	}
+	return true
+}
+
+// CanModify reports whether a thread with privileges p may modify an
+// object labelled l. In this simplified lattice modification requires
+// observation plus ownership of every category raised above the default
+// level — a category at an elevated level marks the object as protected
+// by that category's owner.
+func (p Priv) CanModify(l Label) bool {
+	if !p.CanObserve(l) {
+		return false
+	}
+	for c, lv := range l.entries {
+		if lv > l.def && !p.Owns(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// CanUse reports whether a thread may consume resources from an object
+// labelled l. Per §3.5 this requires both observe (failed consumption
+// reveals the level) and modify (successful consumption changes it).
+func (p Priv) CanUse(l Label) bool {
+	return p.CanObserve(l) && p.CanModify(l)
+}
+
+func (p Priv) levelOK(lv Level) bool {
+	return lv <= p.Clearance()
+}
+
+// String renders the privilege set as e.g. "priv{clearance=1, own:[c3 c7]}".
+func (p Priv) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "priv{clearance=%d", p.Clearance())
+	if len(p.owned) > 0 {
+		b.WriteString(", own:[")
+		for i, c := range p.Owned() {
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "c%d", c)
+		}
+		b.WriteString("]")
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,295 @@
+// Package netd implements Cinder's cooperative network stack (§5.5).
+//
+// netd owns a pooled reserve into which threads "cooperatively save up
+// energy for a radio power up event". A network call whose caller —
+// together with the pool — cannot afford the radio's activation cost
+// blocks, contributes the energy its taps have accumulated to the pool,
+// and sleeps until the pool reaches the threshold (125 % of the
+// activation estimate, so senders have headroom for the packets
+// themselves, Fig. 14). When the threshold is met netd debits the pool,
+// powers the radio, and releases every waiting thread at once — the
+// delegation mechanism that merges the staggered activations of Fig. 13a
+// into the synchronized ones of Fig. 13b.
+//
+// Marginal packet costs are charged to each caller's own reserve, into
+// debt when the cost is only known after the fact (incoming bytes,
+// §5.5.2). Accurate attribution across the IPC boundary comes for free:
+// applications reach netd through a kernel gate, so the calling thread
+// is billed even while executing netd's code (§5.5.1).
+package netd
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/kobj"
+	"repro/internal/label"
+	"repro/internal/radio"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// GateName is the IPC entry point applications call.
+const GateName = "netd.poll"
+
+// DefaultThresholdPct is the pool threshold as a percentage of the
+// radio activation estimate (§6.4: "netd requires 125 % of this level
+// before turning the radio on").
+const DefaultThresholdPct = 125
+
+// DefaultSweepPeriod is how often netd sweeps waiting threads' reserves
+// into the pool and re-checks the threshold.
+const DefaultSweepPeriod = 100 * units.Millisecond
+
+// ErrNotThread reports a gate call without a thread context.
+var ErrNotThread = errors.New("netd: caller has no reserve")
+
+// Config parameterizes a Netd instance.
+type Config struct {
+	// Cooperative selects the §5.5 policy. False yields the
+	// "energy-unrestricted network stack" baseline of §6.4: requests go
+	// straight to the radio, which bills the battery.
+	Cooperative bool
+	// ThresholdPct overrides DefaultThresholdPct.
+	ThresholdPct int
+	// SweepPeriod overrides DefaultSweepPeriod.
+	SweepPeriod units.Time
+	// Estimator optionally replaces the static activation-cost constant
+	// with an online estimate refined from past activations (§9 /
+	// internal/estimator). Nil keeps the offline-measured 9.5 J.
+	Estimator interface{ Estimate() units.Energy }
+}
+
+// Request is the argument applications pass through the netd gate: a
+// poll session against a mail or RSS server, made of one or more
+// sequential request/response exchanges (a pop3 conversation is several
+// round trips).
+type Request struct {
+	// ReqBytes is the outbound request size per exchange.
+	ReqBytes int
+	// RespBytes is the expected response size per exchange.
+	RespBytes int
+	// Exchanges is the number of sequential round trips in the session;
+	// 0 means 1.
+	Exchanges int
+	// OnDone, if non-nil, runs when the final response has been
+	// delivered.
+	OnDone func(at units.Time)
+}
+
+// Stats counts netd activity.
+type Stats struct {
+	// Polls is the number of gate calls accepted.
+	Polls int64
+	// Blocked is the number of calls that had to wait for the pool.
+	Blocked int64
+	// Immediate is the number of calls served without waiting.
+	Immediate int64
+	// PowerUps is the number of radio activations netd paid for.
+	PowerUps int64
+	// Pooled is the total energy swept into the pool from callers.
+	Pooled units.Energy
+}
+
+type waiter struct {
+	th   *sched.Thread
+	priv label.Priv
+	bill *core.Reserve
+	req  Request
+}
+
+// Netd is the network daemon.
+type Netd struct {
+	k     *kernel.Kernel
+	radio *radio.Radio
+	cfg   Config
+
+	cat       label.Category
+	priv      label.Priv
+	pool      *core.Reserve
+	container *kobj.Container
+	waiters   []waiter
+	stats     Stats
+	poolTrace *trace.Series
+}
+
+// New creates netd, its pooled reserve (decay-exempt: §5.5.2 trusts
+// netd not to hoard), and registers its gate on the kernel.
+func New(k *kernel.Kernel, r *radio.Radio, cfg Config) (*Netd, error) {
+	if cfg.ThresholdPct == 0 {
+		cfg.ThresholdPct = DefaultThresholdPct
+	}
+	if cfg.SweepPeriod == 0 {
+		cfg.SweepPeriod = DefaultSweepPeriod
+	}
+	n := &Netd{k: k, radio: r, cfg: cfg}
+	n.cat = k.NewCategory()
+	n.priv = label.NewPriv(n.cat)
+	n.container = kobj.NewContainer(k.Table, k.Root, "netd", label.Public())
+	poolLabel := label.Public().With(n.cat, label.Level2)
+	n.pool = k.CreateReserveOpts(n.container, "netd-pool", poolLabel, core.ReserveOpts{
+		DecayExempt: true,
+	})
+	n.poolTrace = trace.NewSeries("netd-pool", "µJ")
+
+	_, err := k.RegisterGate(n.container, GateName, label.Public(), n.priv, n.pool,
+		func(call *kernel.Call) (any, error) { return nil, n.handlePoll(call) })
+	if err != nil {
+		return nil, fmt.Errorf("netd: %w", err)
+	}
+	k.Eng.Every("netd:sweep", cfg.SweepPeriod, func(e *sim.Engine) { n.sweep(e.Now()) })
+	return n, nil
+}
+
+// Pool returns netd's pooled reserve (observable by anyone; Fig. 14
+// samples it).
+func (n *Netd) Pool() *core.Reserve { return n.pool }
+
+// PoolTrace returns the sampled pool-level series.
+func (n *Netd) PoolTrace() *trace.Series { return n.poolTrace }
+
+// Stats returns a copy of the counters.
+func (n *Netd) Stats() Stats { return n.stats }
+
+// Priv returns netd's privilege set (tests use it to inspect the pool).
+func (n *Netd) Priv() label.Priv { return n.priv }
+
+// handlePoll services one gate call.
+func (n *Netd) handlePoll(call *kernel.Call) error {
+	th := call.Caller
+	if th.ActiveReserve() == nil {
+		return ErrNotThread
+	}
+	n.stats.Polls++
+	req, ok := call.Args.(Request)
+	if !ok {
+		return fmt.Errorf("netd: bad request type %T", call.Args)
+	}
+	// Network calls are synchronous: the caller blocks until its
+	// response is delivered (and, cooperatively, until the pool can
+	// afford the radio).
+	th.Block()
+	if !n.cfg.Cooperative {
+		// Baseline: straight to the radio, marginal cost on the caller,
+		// activation cost on the battery.
+		n.stats.Immediate++
+		n.runSession(call.Now, waiter{th: th, priv: call.BillPriv(), bill: call.BillTo(), req: req})
+		return nil
+	}
+
+	w := waiter{th: th, priv: call.BillPriv(), bill: call.BillTo(), req: req}
+	n.waiters = append(n.waiters, w)
+	// Contribute whatever the caller's taps have accumulated (§5.5.2).
+	n.contribute(w)
+	if n.poolReady(call.Now) {
+		n.stats.Immediate++
+		n.fire(call.Now)
+		return nil
+	}
+	n.stats.Blocked++
+	return nil
+}
+
+// contribute sweeps the caller's available energy into the pool.
+func (n *Netd) contribute(w waiter) {
+	moved, err := n.k.Graph.TransferUpTo(w.priv, w.th.ActiveReserve(), n.pool, units.MaxEnergy)
+	if err == nil {
+		n.stats.Pooled += moved
+	}
+}
+
+// activationCost returns the energy a power-up is expected to add: the
+// radio's model prediction, or the online estimator's when one is
+// configured and the radio is asleep.
+func (n *Netd) activationCost(now units.Time) units.Energy {
+	if n.cfg.Estimator != nil && n.radio.State() == radio.Sleep {
+		return n.cfg.Estimator.Estimate()
+	}
+	return n.radio.ActivationCost(now)
+}
+
+// threshold returns the pool level required before powering the radio.
+func (n *Netd) threshold(now units.Time) units.Energy {
+	return n.activationCost(now) * units.Energy(n.cfg.ThresholdPct) / 100
+}
+
+// poolReady reports whether the pool can cover the current threshold.
+func (n *Netd) poolReady(now units.Time) bool {
+	lvl, err := n.pool.Level(n.priv)
+	if err != nil {
+		return false
+	}
+	need := n.threshold(now)
+	return lvl >= need
+}
+
+// sweep runs periodically: waiting threads keep contributing their tap
+// inflow, and the pool fires when it reaches the threshold.
+func (n *Netd) sweep(now units.Time) {
+	n.poolTrace.Add(now, func() int64 {
+		lvl, _ := n.pool.Level(n.priv)
+		return int64(lvl)
+	}())
+	if len(n.waiters) == 0 {
+		return
+	}
+	for _, w := range n.waiters {
+		n.contribute(w)
+	}
+	if n.poolReady(now) {
+		n.fire(now)
+	}
+}
+
+// fire pays the radio's activation estimate out of the pool and
+// releases every waiter: "every 60 seconds enough energy is saved to
+// use the radio and both applications proceed simultaneously" (§6.4).
+func (n *Netd) fire(now units.Time) {
+	cost := n.activationCost(now)
+	if cost > 0 {
+		if _, err := n.k.Graph.TransferUpTo(n.priv, n.pool, n.radio.FundingReserve(), cost); err != nil {
+			return
+		}
+		n.stats.PowerUps++
+	}
+	waiters := n.waiters
+	n.waiters = nil
+	for _, w := range waiters {
+		n.runSession(now, w)
+	}
+}
+
+// runSession drives the waiter's sequential exchanges and wakes the
+// thread when the last response lands. Exchanges after the first run
+// against an already-active radio, extending its idle window — the
+// §5.5 cost model's "back-to-back actions are cheaper" regime.
+func (n *Netd) runSession(now units.Time, w waiter) {
+	remaining := w.req.Exchanges
+	if remaining <= 0 {
+		remaining = 1
+	}
+	var doOne func(at units.Time)
+	doOne = func(at units.Time) {
+		remaining--
+		if remaining == 0 {
+			n.radio.Exchange(at, w.req.ReqBytes, w.req.RespBytes,
+				w.bill, w.priv, func(done units.Time) {
+					w.th.Wake()
+					if w.req.OnDone != nil {
+						w.req.OnDone(done)
+					}
+				})
+			return
+		}
+		n.radio.Exchange(at, w.req.ReqBytes, w.req.RespBytes,
+			w.bill, w.priv, doOne)
+	}
+	doOne(now)
+}
+
+// WaitingThreads returns the number of blocked callers (diagnostics).
+func (n *Netd) WaitingThreads() int { return len(n.waiters) }

@@ -1,0 +1,255 @@
+package radio
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kobj"
+	"repro/internal/label"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+type rig struct {
+	eng   *sim.Engine
+	graph *core.Graph
+	radio *Radio
+}
+
+func newRig(cfg Config) *rig {
+	if cfg.Profile.Name == "" {
+		cfg.Profile = power.Dream()
+	}
+	eng := sim.NewEngine(42)
+	tbl := kobj.NewTable()
+	root := kobj.NewContainer(tbl, nil, "root", label.Public())
+	g := core.NewGraph(tbl, root, label.Public(), core.Config{DecayHalfLife: -1})
+	r := New(eng, g, root, label.Priv{}, cfg)
+	eng.Every("radio", eng.Tick(), func(e *sim.Engine) {
+		r.DeviceTick(e.Now(), e.Tick())
+	})
+	return &rig{eng: eng, graph: g, radio: r}
+}
+
+func TestStartsAsleep(t *testing.T) {
+	r := newRig(Config{})
+	if r.radio.State() != Sleep {
+		t.Fatalf("state = %v", r.radio.State())
+	}
+	r.eng.Run(10 * units.Second)
+	if got := r.graph.Consumed(); got != 0 {
+		t.Fatalf("sleeping radio consumed %v", got)
+	}
+}
+
+func TestSingleActivationCostsPublishedOverhead(t *testing.T) {
+	// Fig. 4: one 1-byte packet from sleep costs ≈9.5 J above baseline,
+	// and the radio sleeps again 20 s after the last activity.
+	r := newRig(Config{})
+	r.eng.After(units.Second, func(e *sim.Engine) {
+		r.radio.Send(e.Now(), 1, nil, label.Priv{})
+	})
+	r.eng.Run(60 * units.Second)
+	if r.radio.State() != Sleep {
+		t.Fatalf("state = %v after 60 s, want sleep", r.radio.State())
+	}
+	st := r.radio.Stats()
+	if st.Activations != 1 {
+		t.Fatalf("activations = %d", st.Activations)
+	}
+	want := units.Joules(9.5)
+	if st.StateEnergy < want*99/100 || st.StateEnergy > want*101/100 {
+		t.Fatalf("state energy = %v, want ≈9.5 J", st.StateEnergy)
+	}
+	// Active for ramp (2 s) + idle timeout (20 s).
+	if st.ActiveTime < 21*units.Second || st.ActiveTime > 23*units.Second {
+		t.Fatalf("active time = %v, want ≈22 s", st.ActiveTime)
+	}
+	if r.graph.ConservationError() != 0 {
+		t.Fatalf("conservation error %v", r.graph.ConservationError())
+	}
+}
+
+func TestJitterBoundsMatchPaper(t *testing.T) {
+	// With jitter on, activation overheads must stay within the
+	// observed 8.8–11.9 J envelope, and must vary.
+	r := newRig(Config{Jitter: true})
+	var energies []units.Energy
+	prev := units.Energy(0)
+	for i := 0; i < 20; i++ {
+		at := units.Time(i) * 40 * units.Second
+		r.eng.At(at+units.Second, func(e *sim.Engine) {
+			r.radio.Send(e.Now(), 1, nil, label.Priv{})
+		})
+		r.eng.Run(40 * units.Second)
+		cur := r.radio.Stats().StateEnergy
+		energies = append(energies, cur-prev)
+		prev = cur
+	}
+	distinct := map[units.Energy]bool{}
+	p := power.Dream()
+	for i, e := range energies {
+		if e < p.RadioActivationEnergyMin-500*units.Millijoule ||
+			e > p.RadioActivationEnergyMax+500*units.Millijoule {
+			t.Fatalf("activation %d cost %v, outside [8.8, 11.9] J envelope", i, e)
+		}
+		distinct[e/(100*units.Millijoule)] = true
+	}
+	if len(distinct) < 3 {
+		t.Fatalf("jitter produced only %d distinct costs", len(distinct))
+	}
+}
+
+func TestBackToBackCheaperThanSpaced(t *testing.T) {
+	// §5.5: sending while recently active extends the idle window less
+	// than sending after a long in-active gap.
+	send := func(gap units.Time) units.Energy {
+		r := newRig(Config{})
+		r.eng.After(units.Second, func(e *sim.Engine) {
+			r.radio.Send(e.Now(), 100, nil, label.Priv{})
+		})
+		r.eng.After(units.Second+r.radio.Profile().RadioRampTime+gap, func(e *sim.Engine) {
+			r.radio.Send(e.Now(), 100, nil, label.Priv{})
+		})
+		r.eng.Run(80 * units.Second)
+		return r.radio.Stats().StateEnergy
+	}
+	quick := send(units.Second)
+	slow := send(15 * units.Second)
+	if quick >= slow {
+		t.Fatalf("back-to-back %v ≥ spaced %v", quick, slow)
+	}
+	// The difference should be ≈14 s of plateau power.
+	diff := slow - quick
+	want := power.Dream().RadioActiveExtra.Over(14 * units.Second)
+	if diff < want*90/100 || diff > want*110/100 {
+		t.Fatalf("diff = %v, want ≈%v", diff, want)
+	}
+}
+
+func TestActivationCostEstimate(t *testing.T) {
+	r := newRig(Config{})
+	p := power.Dream()
+	if got := r.radio.ActivationCost(0); got != p.RadioActivationEnergy {
+		t.Fatalf("sleeping estimate = %v, want 9.5 J", got)
+	}
+	// Wake it, let 10 s pass with no traffic: estimate = 10 s of
+	// plateau extension.
+	r.eng.After(units.Second, func(e *sim.Engine) {
+		r.radio.Send(e.Now(), 1, nil, label.Priv{})
+	})
+	r.eng.Run(13 * units.Second) // 1 s + 2 s ramp + 10 s idle gap
+	got := r.radio.ActivationCost(r.eng.Now())
+	want := p.RadioActiveExtra.Over(10 * units.Second)
+	if got < want*95/100 || got > want*105/100 {
+		t.Fatalf("active estimate = %v, want ≈%v", got, want)
+	}
+}
+
+func TestSendBillsMarginalCostToReserve(t *testing.T) {
+	r := newRig(Config{})
+	root := kobj.NewContainer(r.graph.Table(), nil, "apps", label.Public())
+	bill := r.graph.NewReserve(root, "app", label.Public(), core.ReserveOpts{AllowDebt: true})
+	r.eng.After(units.Second, func(e *sim.Engine) {
+		r.radio.Send(e.Now(), 1500, bill, label.Priv{})
+	})
+	r.eng.Run(2 * units.Second)
+	lvl, _ := bill.Level(label.Priv{})
+	want := -power.Dream().PacketEnergy(1500)
+	if lvl != want {
+		t.Fatalf("bill reserve = %v, want %v (after-the-fact debt)", lvl, want)
+	}
+}
+
+func TestFundingReserveDrainedBeforeBattery(t *testing.T) {
+	r := newRig(Config{})
+	fund := r.radio.FundingReserve()
+	if err := r.graph.Transfer(label.Priv{}, r.graph.Battery(), fund, 12*units.Joule); err != nil {
+		t.Fatal(err)
+	}
+	batteryBefore, _ := r.graph.Battery().Level(label.Priv{})
+	r.eng.After(units.Second, func(e *sim.Engine) {
+		r.radio.Send(e.Now(), 1, nil, label.Priv{})
+	})
+	r.eng.Run(30 * units.Second)
+	batteryAfter, _ := r.graph.Battery().Level(label.Priv{})
+	// The ≈9.5 J activation came from the fund; the leftover ≈2.5 J
+	// returned to the battery at sleep, so the battery must be *higher*
+	// than before minus nothing — net battery change ≈ +2.4 J refund −
+	// data cost.
+	if batteryAfter < batteryBefore {
+		t.Fatalf("battery dropped %v→%v despite pre-funded radio",
+			batteryBefore, batteryAfter)
+	}
+	if lvl, _ := fund.Level(label.Priv{}); lvl != 0 {
+		t.Fatalf("fund not emptied at sleep: %v", lvl)
+	}
+}
+
+func TestExchangeDeliversResponse(t *testing.T) {
+	r := newRig(Config{})
+	var deliveredAt units.Time
+	r.eng.After(units.Second, func(e *sim.Engine) {
+		r.radio.Exchange(e.Now(), 100, 1000, nil, label.Priv{}, func(at units.Time) {
+			deliveredAt = at
+		})
+	})
+	r.eng.Run(10 * units.Second)
+	if deliveredAt == 0 {
+		t.Fatal("response never delivered")
+	}
+	// Delivery after ramp (2 s) + rtt (200 ms) + transfer times.
+	min := units.Second + power.Dream().RadioRampTime + 200*units.Millisecond
+	if deliveredAt < min {
+		t.Fatalf("delivered at %v, before minimum %v", deliveredAt, min)
+	}
+	st := r.radio.Stats()
+	if st.PacketsSent != 1 || st.PacketsReceived != 1 {
+		t.Fatalf("packets = %d/%d", st.PacketsSent, st.PacketsReceived)
+	}
+	if st.BytesReceived != 1000 {
+		t.Fatalf("bytes received = %d", st.BytesReceived)
+	}
+}
+
+func TestStateSeriesRecordsTransitions(t *testing.T) {
+	r := newRig(Config{})
+	r.eng.After(units.Second, func(e *sim.Engine) {
+		r.radio.Send(e.Now(), 1, nil, label.Priv{})
+	})
+	r.eng.Run(40 * units.Second)
+	pts := r.radio.StateSeries().Points()
+	// sleep(init) → ramp → active → sleep
+	if len(pts) != 4 {
+		t.Fatalf("transitions = %d, want 4 (%v)", len(pts), pts)
+	}
+	wantStates := []State{Sleep, Ramp, Active, Sleep}
+	for i, p := range pts {
+		if State(p.V) != wantStates[i] {
+			t.Fatalf("transition %d = %v, want %v", i, State(p.V), wantStates[i])
+		}
+	}
+}
+
+func TestRepeatedActivationTotalEnergyScales(t *testing.T) {
+	// Fig. 4's experiment: one packet every 40 s → each activation fully
+	// completes; N activations cost ≈ N × 9.5 J.
+	r := newRig(Config{})
+	const n = 5
+	for i := 0; i < n; i++ {
+		at := units.Time(i)*40*units.Second + units.Second
+		r.eng.At(at, func(e *sim.Engine) {
+			r.radio.Send(e.Now(), 1, nil, label.Priv{})
+		})
+	}
+	r.eng.Run(n * 40 * units.Second)
+	st := r.radio.Stats()
+	if st.Activations != n {
+		t.Fatalf("activations = %d, want %d", st.Activations, n)
+	}
+	want := units.Joules(9.5) * n
+	if st.StateEnergy < want*98/100 || st.StateEnergy > want*102/100 {
+		t.Fatalf("total = %v, want ≈%v", st.StateEnergy, want)
+	}
+}

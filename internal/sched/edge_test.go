@@ -1,0 +1,157 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/label"
+	"repro/internal/units"
+)
+
+func TestStateStrings(t *testing.T) {
+	cases := map[State]string{
+		Runnable: "runnable",
+		Sleeping: "sleeping",
+		Blocked:  "blocked",
+		Exited:   "exited",
+		State(9): "state(9)",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestThreadString(t *testing.T) {
+	r := newRig()
+	th := r.sched.NewThread(r.root, "worker", label.Public(), label.Priv{}, nil)
+	s := th.String()
+	if !strings.Contains(s, "worker") || !strings.Contains(s, "runnable") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestReservesReturnsCopy(t *testing.T) {
+	r := newRig()
+	r1 := r.reserveWith("r1", units.Joule)
+	r2 := r.reserveWith("r2", units.Joule)
+	th := r.sched.NewThread(r.root, "t", label.Public(), label.Priv{}, nil, r1)
+	got := th.Reserves()
+	if len(got) != 1 || got[0] != r1 {
+		t.Fatalf("Reserves = %v", got)
+	}
+	// Mutating the copy must not affect the thread.
+	got[0] = r2
+	if th.ActiveReserve() != r1 {
+		t.Fatal("Reserves returned aliased slice")
+	}
+	th.AddReserve(r2)
+	if len(th.Reserves()) != 2 {
+		t.Fatal("AddReserve failed")
+	}
+}
+
+func TestActiveReserveNilWhenEmpty(t *testing.T) {
+	r := newRig()
+	th := r.sched.NewThread(r.root, "t", label.Public(), label.Priv{}, nil)
+	if th.ActiveReserve() != nil {
+		t.Fatal("empty draw list has an active reserve")
+	}
+	// A thread with no reserves never runs but never panics.
+	r.run(0, 10)
+	if th.TicksRun() != 0 {
+		t.Fatal("reserveless thread ran")
+	}
+}
+
+func TestSleepOnExitedThreadIgnored(t *testing.T) {
+	r := newRig()
+	th := r.sched.NewThread(r.root, "t", label.Public(), label.Priv{}, nil,
+		r.reserveWith("r", units.Joule))
+	th.Exit()
+	th.Sleep(100)
+	th.Block()
+	if th.State() != Exited {
+		t.Fatalf("state = %v after post-exit transitions", th.State())
+	}
+}
+
+func TestRunnerExitsMidStep(t *testing.T) {
+	// A runner that exits in its first step runs exactly once.
+	r := newRig()
+	res := r.reserveWith("r", units.Joule)
+	var th *Thread
+	th = r.sched.NewThread(r.root, "oneshot", label.Public(), label.Priv{},
+		RunnerFunc(func(now units.Time, t *Thread) { t.Exit() }), res)
+	r.run(0, 100)
+	if th.TicksRun() != 1 {
+		t.Fatalf("ticks = %d, want 1", th.TicksRun())
+	}
+}
+
+func TestCPUPowerAccessor(t *testing.T) {
+	r := newRig()
+	if r.sched.CPUPower() != units.Milliwatts(137) {
+		t.Fatalf("CPUPower = %v", r.sched.CPUPower())
+	}
+}
+
+func TestQuantumCostChangesWithTickLength(t *testing.T) {
+	// Switching tick lengths mid-run recomputes the quantum cost.
+	r := newRig()
+	res := r.reserveWith("r", units.Joule)
+	th := r.sched.NewThread(r.root, "t", label.Public(), label.Priv{}, nil, res)
+	r.sched.Tick(0, units.Millisecond)
+	r.sched.Tick(1, 10*units.Millisecond)
+	want := units.Milliwatts(137).Over(units.Millisecond) +
+		units.Milliwatts(137).Over(10*units.Millisecond)
+	if th.CPUConsumed() != want {
+		t.Fatalf("consumed %v, want %v", th.CPUConsumed(), want)
+	}
+}
+
+func TestThreadsAccessor(t *testing.T) {
+	r := newRig()
+	a := r.sched.NewThread(r.root, "a", label.Public(), label.Priv{}, nil)
+	b := r.sched.NewThread(r.root, "b", label.Public(), label.Priv{}, nil)
+	ths := r.sched.Threads()
+	if len(ths) != 2 || ths[0] != a || ths[1] != b {
+		t.Fatalf("Threads = %v", ths)
+	}
+}
+
+func TestRoundRobinSkipsSleepersWithoutCharge(t *testing.T) {
+	// A sleeping thread costs nothing; the runnable one gets every
+	// tick.
+	r := newRig()
+	ra := r.reserveWith("ra", units.Joule)
+	rb := r.reserveWith("rb", units.Joule)
+	a := r.sched.NewThread(r.root, "a", label.Public(), label.Priv{}, nil, ra)
+	b := r.sched.NewThread(r.root, "b", label.Public(), label.Priv{}, nil, rb)
+	b.Sleep(units.Hour)
+	r.run(0, 100)
+	if a.TicksRun() != 100 {
+		t.Fatalf("a ran %d", a.TicksRun())
+	}
+	if b.TicksRun() != 0 {
+		t.Fatalf("b ran %d while sleeping", b.TicksRun())
+	}
+	sb, _ := rb.Stats(label.Priv{})
+	if sb.Consumed != 0 {
+		t.Fatal("sleeping thread was billed")
+	}
+}
+
+func TestDeadReserveTreatedAsUnpayable(t *testing.T) {
+	r := newRig()
+	res := r.reserveWith("r", units.Joule)
+	th := r.sched.NewThread(r.root, "t", label.Public(), label.Priv{}, nil, res)
+	if err := r.tbl.Delete(res.ObjectID()); err != nil {
+		t.Fatal(err)
+	}
+	r.run(0, 10)
+	if th.TicksRun() != 0 {
+		t.Fatal("thread ran on a dead reserve")
+	}
+}

@@ -1,0 +1,217 @@
+// Package sim provides the deterministic discrete-time engine underneath
+// the Cinder simulation: a virtual clock, a time-ordered event queue,
+// periodic task scheduling, and a seeded random source.
+//
+// The engine advances in fixed-size ticks (1 ms by default). Each tick
+// the loop fires due one-shot events, then runs every registered periodic
+// task whose period divides the current time, in registration order.
+// Determinism is a design requirement — every experiment in the paper's
+// evaluation is reproduced as an exact, repeatable run — so the engine
+// never consults wall-clock time and all randomness flows from an
+// explicit seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/units"
+)
+
+// DefaultTick is the simulation quantum. One millisecond is fine enough
+// to resolve the paper's shortest interval of interest (the 200 ms power
+// meter sampling) while keeping 20-minute experiments cheap.
+const DefaultTick = units.Millisecond
+
+// Event is a one-shot callback scheduled for a particular simulated time.
+type Event struct {
+	// At is the simulated time the event fires.
+	At units.Time
+	// Fn is invoked with the engine when the event fires.
+	Fn func(e *Engine)
+
+	seq   uint64 // tie-break: FIFO among events at the same time
+	index int    // heap bookkeeping; -1 once popped or cancelled
+}
+
+// Task is a callback invoked on a fixed period. Tasks registered earlier
+// run earlier within a tick.
+type Task struct {
+	// Name identifies the task in String output and panics.
+	Name string
+	// Period is the interval between invocations; must be a positive
+	// multiple of the engine tick.
+	Period units.Time
+	// Phase offsets the first invocation. A task with period p and
+	// phase f runs at f, f+p, f+2p, ...
+	Phase units.Time
+	// Fn is invoked with the engine at each firing.
+	Fn func(e *Engine)
+
+	stopped bool
+}
+
+// Stop permanently disables the task. Safe to call from within the task
+// itself.
+func (t *Task) Stop() { t.stopped = true }
+
+// Engine drives simulated time forward.
+type Engine struct {
+	now    units.Time
+	tick   units.Time
+	events eventHeap
+	tasks  []*Task
+	rng    *rand.Rand
+	seq    uint64
+
+	// stopRequested halts Run/RunUntil at the end of the current tick.
+	stopRequested bool
+}
+
+// NewEngine returns an engine at time zero with the default 1 ms tick and
+// the given random seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		tick: DefaultTick,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() units.Time { return e.now }
+
+// Tick returns the engine quantum.
+func (e *Engine) Tick() units.Time { return e.tick }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Stop requests that Run or RunUntil return at the end of the current
+// tick. It is the mechanism experiments use to end early (for example
+// when a workload completes).
+func (e *Engine) Stop() { e.stopRequested = true }
+
+// At schedules fn to run at the given absolute simulated time, which must
+// not be in the past. It returns the event so callers may Cancel it.
+func (e *Engine) At(t units.Time, fn func(e *Engine)) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", t, e.now))
+	}
+	ev := &Event{At: t, Fn: fn, seq: e.seq}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run after delay d from now.
+func (e *Engine) After(d units.Time, fn func(e *Engine)) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.events, ev.index)
+	ev.index = -1
+}
+
+// Every registers a periodic task and returns it. Period must be a
+// positive multiple of the tick; phase must be non-negative and a
+// multiple of the tick.
+func (e *Engine) Every(name string, period units.Time, fn func(e *Engine)) *Task {
+	return e.EveryPhased(name, period, 0, fn)
+}
+
+// EveryPhased registers a periodic task with a phase offset.
+func (e *Engine) EveryPhased(name string, period, phase units.Time, fn func(e *Engine)) *Task {
+	if period <= 0 || period%e.tick != 0 {
+		panic(fmt.Sprintf("sim: task %q period %v is not a positive multiple of tick %v", name, period, e.tick))
+	}
+	if phase < 0 || phase%e.tick != 0 {
+		panic(fmt.Sprintf("sim: task %q phase %v is not a non-negative multiple of tick %v", name, phase, e.tick))
+	}
+	t := &Task{Name: name, Period: period, Phase: phase, Fn: fn}
+	e.tasks = append(e.tasks, t)
+	return t
+}
+
+// RunUntil advances simulated time tick by tick until it reaches end
+// (inclusive of work scheduled at end) or Stop is called. It returns the
+// time at which it stopped.
+func (e *Engine) RunUntil(end units.Time) units.Time {
+	if end < e.now {
+		panic(fmt.Sprintf("sim: RunUntil(%v) is before now %v", end, e.now))
+	}
+	e.stopRequested = false
+	for e.now <= end {
+		e.step()
+		if e.stopRequested || e.now >= end {
+			break
+		}
+		e.now += e.tick
+	}
+	return e.now
+}
+
+// Run advances simulated time by duration d. Equivalent to
+// RunUntil(Now()+d).
+func (e *Engine) Run(d units.Time) units.Time {
+	return e.RunUntil(e.now + d)
+}
+
+// step performs the work of a single tick at the current time: due
+// events first, then periodic tasks in registration order.
+func (e *Engine) step() {
+	for len(e.events) > 0 && e.events[0].At <= e.now {
+		ev := heap.Pop(&e.events).(*Event)
+		ev.index = -1
+		ev.Fn(e)
+	}
+	for _, t := range e.tasks {
+		if t.stopped {
+			continue
+		}
+		if e.now >= t.Phase && (e.now-t.Phase)%t.Period == 0 {
+			t.Fn(e)
+		}
+	}
+}
+
+// PendingEvents reports the number of one-shot events not yet fired.
+func (e *Engine) PendingEvents() int { return len(e.events) }
+
+// eventHeap orders events by (At, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func s(points ...Point) *Series {
+	sr := NewSeries("test", "µW")
+	for _, p := range points {
+		sr.Add(p.T, p.V)
+	}
+	return sr
+}
+
+func TestAddAndLen(t *testing.T) {
+	sr := s(Point{0, 1}, Point{10, 2}, Point{20, 3})
+	if sr.Len() != 3 {
+		t.Fatalf("Len = %d", sr.Len())
+	}
+	if sr.Last() != (Point{20, 3}) {
+		t.Fatalf("Last = %v", sr.Last())
+	}
+}
+
+func TestAddRejectsBackwardsTime(t *testing.T) {
+	sr := s(Point{10, 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards Add did not panic")
+		}
+	}()
+	sr.Add(5, 2)
+}
+
+func TestAt(t *testing.T) {
+	sr := s(Point{10, 100}, Point{20, 200}, Point{30, 300})
+	cases := []struct {
+		t    units.Time
+		want int64
+	}{
+		{5, 0}, {10, 100}, {15, 100}, {20, 200}, {29, 200}, {30, 300}, {99, 300},
+	}
+	for _, c := range cases {
+		if got := sr.At(c.t); got != c.want {
+			t.Errorf("At(%v) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	sr := s(Point{0, 10}, Point{10, 30}, Point{20, 20})
+	st := sr.Summarize()
+	if st.N != 3 || st.Min != 10 || st.Max != 30 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if st.Mean != 20 {
+		t.Fatalf("Mean = %f", st.Mean)
+	}
+	if st.First != (Point{0, 10}) || st.Last != (Point{20, 20}) {
+		t.Fatalf("First/Last = %v/%v", st.First, st.Last)
+	}
+	empty := NewSeries("e", "x").Summarize()
+	if empty.N != 0 {
+		t.Fatal("empty Summarize has samples")
+	}
+}
+
+func TestWindowAndMeanOver(t *testing.T) {
+	sr := s(Point{0, 10}, Point{10, 20}, Point{20, 30}, Point{30, 40})
+	w := sr.Window(10, 30)
+	if len(w) != 2 || w[0].V != 20 || w[1].V != 30 {
+		t.Fatalf("Window = %v", w)
+	}
+	if m := sr.MeanOver(10, 30); m != 25 {
+		t.Fatalf("MeanOver = %f", m)
+	}
+	if m := sr.MeanOver(100, 200); m != 0 {
+		t.Fatalf("empty MeanOver = %f", m)
+	}
+}
+
+func TestIntegrate(t *testing.T) {
+	// Sample-and-hold: 10 µW for 10 ms, then 20 µW for 10 ms.
+	sr := s(Point{0, 10}, Point{10, 20}, Point{20, 0})
+	got := sr.Integrate(0, 20)
+	want := int64(10*10 + 20*10)
+	if got != want {
+		t.Fatalf("Integrate = %d, want %d", got, want)
+	}
+	// Partial window clips the first sample.
+	got = sr.Integrate(5, 15)
+	want = int64(10*5 + 20*5)
+	if got != want {
+		t.Fatalf("partial Integrate = %d, want %d", got, want)
+	}
+}
+
+func TestTimeAbove(t *testing.T) {
+	sr := s(Point{0, 5}, Point{10, 50}, Point{30, 5}, Point{40, 50})
+	// Above 10: [10,30) plus [40, end-of-window).
+	got := sr.TimeAbove(10, 0, 50)
+	if got != 30 {
+		t.Fatalf("TimeAbove = %v, want 30 ms", got)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	sr := s(Point{0, 1}, Point{200, 2})
+	csv := sr.CSV()
+	if !strings.HasPrefix(csv, "time_ms,test_µW\n") {
+		t.Fatalf("CSV header: %q", csv)
+	}
+	if !strings.Contains(csv, "200,2\n") {
+		t.Fatalf("CSV body: %q", csv)
+	}
+}
+
+func TestPlotAndSparklineDoNotPanic(t *testing.T) {
+	sr := NewSeries("p", "µW")
+	for i := 0; i < 500; i++ {
+		v := int64(i % 100)
+		sr.Add(units.Time(i*10), v)
+	}
+	out := Plot(sr, PlotConfig{Width: 40, Height: 8})
+	if !strings.Contains(out, "#") {
+		t.Fatalf("Plot produced no marks:\n%s", out)
+	}
+	sl := Sparkline(sr, 40)
+	if len([]rune(sl)) != 40 {
+		t.Fatalf("Sparkline width = %d", len([]rune(sl)))
+	}
+	if Plot(NewSeries("e", "x"), PlotConfig{}) == "" {
+		t.Fatal("empty Plot returned nothing")
+	}
+	if Sparkline(NewSeries("e", "x"), 10) != "(empty)" {
+		t.Fatal("empty Sparkline wrong")
+	}
+}
+
+func TestStackedMeans(t *testing.T) {
+	a := NewSeries("a", "µW")
+	b := NewSeries("b", "µW")
+	for i := 0; i < 100; i++ {
+		a.Add(units.Time(i*100), 10)
+		b.Add(units.Time(i*100), 20)
+	}
+	out := StackedMeans([]*Series{a, b}, units.Second, 0, 2*units.Second)
+	if !strings.Contains(out, "0.0,10,20,30") {
+		t.Fatalf("StackedMeans:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 windows
+		t.Fatalf("StackedMeans lines = %d:\n%s", len(lines), out)
+	}
+}
