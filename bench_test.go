@@ -17,12 +17,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/estimator"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/kernel"
 	"repro/internal/kobj"
 	"repro/internal/label"
 	"repro/internal/netd"
 	"repro/internal/radio"
 	"repro/internal/sched"
+	"repro/internal/sim"
 	"repro/internal/units"
 )
 
@@ -401,6 +403,57 @@ func BenchmarkAblationProportionalTaps(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Engine benches --------------------------------------------------------
+
+// BenchmarkEngineIdleDevice measures the next-event engine on the
+// workload it was built for: a powered-on but idle phone (kernel, radio
+// asleep, decay on, no runnable threads) simulated for 10 minutes. The
+// quiescence machinery parks every per-tick task, so the engine executes
+// a handful of instants instead of 600k.
+func BenchmarkEngineIdleDevice(b *testing.B) {
+	benchIdleDevice(b, sim.ModeNextEvent)
+}
+
+// BenchmarkEngineIdleDeviceFixedTick is the same device under the
+// fixed-tick compat engine — the seed's behaviour — for the A/B ratio
+// recorded in BENCH_engine.json.
+func BenchmarkEngineIdleDeviceFixedTick(b *testing.B) {
+	benchIdleDevice(b, sim.ModeFixedTick)
+}
+
+func benchIdleDevice(b *testing.B, mode sim.Mode) {
+	b.Helper()
+	var consumed units.Energy
+	for i := 0; i < b.N; i++ {
+		k := kernel.New(kernel.Config{Seed: 42, EngineMode: mode})
+		r := radio.New(k.Eng, k.Graph, k.Root, k.KernelPriv(), radio.Config{Profile: k.Profile})
+		k.AddDevice(r)
+		k.Run(10 * units.Minute)
+		consumed = k.Consumed()
+	}
+	b.ReportMetric(consumed.Joules(), "J-consumed")
+}
+
+// BenchmarkFleet100Pollers runs a 100-device cooperative-poller fleet
+// for 2 simulated minutes, the scaled-down version of the cinder-fleet
+// CLI's default sweep.
+func BenchmarkFleet100Pollers(b *testing.B) {
+	var rep fleet.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = fleet.Run(fleet.Config{
+			Devices:  100,
+			Seed:     1,
+			Duration: 2 * units.Minute,
+			Scenario: fleet.PollerScenario{},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rep.TotalPolls), "polls")
 }
 
 // BenchmarkSchedulerTick measures the scheduler's per-quantum cost with

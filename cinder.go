@@ -33,18 +33,21 @@
 //	sys.Run(10 * cinder.Second)
 //	_ = tap
 //
-// The packages under internal/ carry the implementation: internal/core
-// (reserves, taps, consumption graph), internal/sched (energy-aware
-// scheduler), internal/kernel (object table, gates, syscall surface),
+// The packages under internal/ carry the implementation: internal/sim
+// (the deterministic next-event time engine), internal/core (reserves,
+// taps, consumption graph), internal/sched (energy-aware scheduler),
+// internal/kernel (object table, gates, syscall surface, quiescence),
 // internal/radio and internal/netd (the §5.5 cooperative network stack),
-// internal/apps (the paper's applications), and internal/experiments
-// (one runner per table and figure).
+// internal/apps (the paper's applications), internal/experiments (one
+// runner per table and figure), and internal/fleet (concurrent
+// simulation of whole device populations; see cmd/cinder-fleet).
 package cinder
 
 import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/kernel"
 	"repro/internal/kobj"
 	"repro/internal/label"
@@ -288,6 +291,29 @@ func (s *System) NewImageViewer(p Priv, cfg ViewerConfig) (*ImageViewer, error) 
 func DefaultViewerConfig(adaptive bool) ViewerConfig {
 	return apps.DefaultViewerConfig(adaptive)
 }
+
+// Fleet-scale simulation. A fleet runs N independent Systems
+// concurrently on a worker pool with deterministically derived
+// per-device seeds; see internal/fleet for scenarios and semantics.
+type (
+	// FleetConfig parameterizes a fleet run.
+	FleetConfig = fleet.Config
+	// FleetReport is the deterministic aggregate of a fleet run.
+	FleetReport = fleet.Report
+	// FleetScenario builds a workload onto each fleet device.
+	FleetScenario = fleet.Scenario
+	// FleetDeviceResult is one device's outcome.
+	FleetDeviceResult = fleet.DeviceResult
+)
+
+// RunFleet simulates a fleet of devices and returns the aggregate
+// report. For a fixed FleetConfig the report is identical regardless of
+// worker count.
+func RunFleet(cfg FleetConfig) (FleetReport, error) { return fleet.Run(cfg) }
+
+// FleetScenarios returns the built-in fleet workloads by name
+// (poller, idle, spinner).
+func FleetScenarios() map[string]FleetScenario { return fleet.Scenarios() }
 
 // Experiments lists the registered paper artifacts (fig3…table1).
 func Experiments() []string { return experiments.Names() }

@@ -1,0 +1,96 @@
+// cinder-fleet sweeps a Cinder workload over a simulated fleet of
+// phones: N independent systems run concurrently on a bounded worker
+// pool, each with a deterministically derived seed, and the aggregate
+// battery-life / consumed-energy / utilization statistics are printed.
+// For a fixed fleet seed the output is byte-identical regardless of
+// worker count.
+//
+// Usage:
+//
+//	cinder-fleet -devices 1000 -duration 20m -scenario poller
+//	cinder-fleet -devices 200 -scenario idle -battery-j 100 -per-device
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func main() {
+	var (
+		devices   = flag.Int("devices", 1000, "fleet size")
+		seed      = flag.Int64("seed", 1, "fleet master seed")
+		duration  = flag.Duration("duration", 20*time.Minute, "simulated time per device")
+		scenario  = flag.String("scenario", "poller", "workload: "+scenarioNames())
+		workers   = flag.Int("workers", 0, "worker goroutines (0 = one per CPU)")
+		batteryJ  = flag.Float64("battery-j", 0, "override battery capacity in joules (0 = profile default)")
+		perDevice = flag.Bool("per-device", false, "also print one line per device")
+		fixedTick = flag.Bool("fixed-tick", false, "use the fixed-tick compat engine (A/B timing)")
+	)
+	flag.Parse()
+
+	sc, ok := fleet.Scenarios()[*scenario]
+	if !ok {
+		fatal(fmt.Errorf("unknown scenario %q (have %s)", *scenario, scenarioNames()))
+	}
+	cfg := fleet.Config{
+		Devices:  *devices,
+		Seed:     *seed,
+		Duration: units.Time(duration.Milliseconds()),
+		Workers:  *workers,
+		Scenario: sc,
+	}
+	if *batteryJ > 0 {
+		cfg.BatteryCapacity = units.Joules(*batteryJ)
+	}
+	if *fixedTick {
+		cfg.EngineMode = sim.ModeFixedTick
+	}
+
+	start := time.Now()
+	rep, err := fleet.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Print(rep.Format())
+	simulated := time.Duration(int64(cfg.Duration)) * time.Millisecond * time.Duration(cfg.Devices)
+	fmt.Printf("  wall clock: %v with %d workers (%.0fx realtime across the fleet)\n",
+		elapsed.Round(time.Millisecond), rep.Workers, simulated.Seconds()/elapsed.Seconds())
+
+	if *perDevice {
+		fmt.Println("  per-device:")
+		for _, r := range rep.Results {
+			died := "-"
+			if r.Died {
+				died = r.DiedAt.String()
+			}
+			fmt.Printf("    #%04d seed=%-20d consumed=%-12v util=%6.2f%% polls=%-4d activations=%-3d died=%s\n",
+				r.Index, r.Seed, r.Consumed, r.Utilization, r.Polls, r.RadioActivations, died)
+		}
+	}
+}
+
+func scenarioNames() string {
+	scenarios := fleet.Scenarios()
+	names := make([]string, 0, len(scenarios))
+	for n := range scenarios {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, "|")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cinder-fleet:", err)
+	os.Exit(1)
+}

@@ -42,14 +42,65 @@ type Graph struct {
 	battery  *Reserve
 	reserves []*Reserve
 	taps     []*Tap
-	consumed units.Energy
-	capacity units.Energy
-	halfLife units.Time
-	strict   bool
+	// active holds the taps with a non-zero rate or fraction, in
+	// creation order — the only taps Flow needs to visit. Zero-rate taps
+	// move nothing (their carries stay below one microjoule), so
+	// skipping them is exact.
+	active []*Tap
+	// decayable holds the non-decay-exempt reserves in creation order —
+	// the only reserves Decay needs to visit.
+	decayable []*Reserve
+	// onTapActivity, when set, is invoked when a tap acquires a non-zero
+	// rate. The kernel hooks it to resume a deferred flow batch task.
+	onTapActivity func()
+	tapSeq        uint64
+	consumed      units.Energy
+	capacity      units.Energy
+	halfLife      units.Time
+	strict        bool
 	// decayFactor is the per-Decay-interval retention in 2⁻³⁰ fixed
 	// point, memoized per interval length.
 	decayFactorDT units.Time
 	decayFactor   int64
+}
+
+// SetTapActivityHook installs fn to be called whenever a tap becomes
+// active (acquires a non-zero rate or fraction). Pass nil to remove.
+func (g *Graph) SetTapActivityHook(fn func()) { g.onTapActivity = fn }
+
+// ActiveTapCount returns the number of taps with a non-zero rate.
+func (g *Graph) ActiveTapCount() int { return len(g.active) }
+
+// setTapActive inserts or removes t from the active set, keeping it
+// sorted by creation order so Flow preserves the original iteration
+// sequence exactly.
+func (g *Graph) setTapActive(t *Tap, active bool) {
+	if active == (t.activeIdx >= 0) {
+		return
+	}
+	if !active {
+		i := t.activeIdx
+		copy(g.active[i:], g.active[i+1:])
+		g.active = g.active[:len(g.active)-1]
+		for ; i < len(g.active); i++ {
+			g.active[i].activeIdx = i
+		}
+		t.activeIdx = -1
+		return
+	}
+	i := len(g.active)
+	for i > 0 && g.active[i-1].seq > t.seq {
+		i--
+	}
+	g.active = append(g.active, nil)
+	copy(g.active[i+1:], g.active[i:])
+	g.active[i] = t
+	for ; i < len(g.active); i++ {
+		g.active[i].activeIdx = i
+	}
+	if g.onTapActivity != nil {
+		g.onTapActivity()
+	}
 }
 
 // NewGraph creates a resource graph whose root battery reserve lives in
@@ -107,6 +158,9 @@ func (g *Graph) newReserve(parent *kobj.Container, name string, lbl label.Label,
 	r.OnRelease(func() { g.releaseReserve(r) })
 	g.table.Register(&r.Base, kobj.KindReserve, lbl, parent, r)
 	g.reserves = append(g.reserves, r)
+	if !r.decayExempt {
+		g.decayable = append(g.decayable, r)
+	}
 	return r
 }
 
@@ -124,6 +178,9 @@ func (g *Graph) releaseReserve(r *Reserve) {
 	}
 	r.dead = true
 	g.reserves = removeFirst(g.reserves, r)
+	if !r.decayExempt {
+		g.decayable = removeFirst(g.decayable, r)
+	}
 }
 
 // NewTap creates a tap between src and sink, the tap_create syscall of
@@ -147,29 +204,43 @@ func (g *Graph) NewTap(parent *kobj.Container, name string, p label.Priv, src, s
 	if !p.CanUse(sink.Label()) {
 		return nil, fmt.Errorf("%w: tap %q needs use of sink %q", ErrAccess, name, sink.name)
 	}
-	t := &Tap{graph: g, name: name, src: src, sink: sink, priv: p}
+	t := &Tap{graph: g, name: name, src: src, sink: sink, priv: p, activeIdx: -1}
 	t.OnRelease(func() { g.releaseTap(t) })
-	g.table.Register(&t.Base, kobj.KindTap, lbl, parent, t)
-	g.taps = append(g.taps, t)
+	g.registerTap(&t.Base, lbl, parent, t)
 	return t, nil
+}
+
+// registerTap stamps the tap's creation sequence and enters it into the
+// graph's lists (and the active set, if it already carries a rate — the
+// CloneReserve path duplicates live proportional taps).
+func (g *Graph) registerTap(base *kobj.Base, lbl label.Label, parent *kobj.Container, t *Tap) {
+	g.table.Register(base, kobj.KindTap, lbl, parent, t)
+	t.seq = g.tapSeq
+	g.tapSeq++
+	g.taps = append(g.taps, t)
+	if t.moves() {
+		g.setTapActive(t, true)
+	}
 }
 
 func (g *Graph) releaseTap(t *Tap) {
 	t.dead = true
+	g.setTapActive(t, false)
 	g.taps = removeFirst(g.taps, t)
 }
 
-// Flow runs one batch interval: every live tap moves dt's worth of
+// Flow runs one batch interval: every active tap moves dt's worth of
 // energy, in creation order. The kernel calls this periodically (§3.3:
-// "transfers are executed in batch periodically").
+// "transfers are executed in batch periodically"). Zero-rate taps are
+// not visited; they would move nothing.
 func (g *Graph) Flow(dt units.Time) {
 	if dt <= 0 {
 		return
 	}
-	// Iterate over a stable snapshot index-wise; taps created during a
+	// Iterate over a stable snapshot index-wise; taps activated during a
 	// flow start next batch, taps deleted are marked dead and skipped.
-	for i := 0; i < len(g.taps); i++ {
-		g.taps[i].flow(dt)
+	for i := 0; i < len(g.active); i++ {
+		g.active[i].flow(dt)
 	}
 }
 
@@ -182,8 +253,8 @@ func (g *Graph) Decay(dt units.Time) {
 		return
 	}
 	f := g.retentionFactor(dt)
-	for _, r := range g.reserves {
-		if r.decayExempt || r.level <= 0 {
+	for _, r := range g.decayable {
+		if r.level <= 0 {
 			continue
 		}
 		// retained = level × f / 2³⁰, with per-reserve fixed-point carry
@@ -319,11 +390,10 @@ func (g *Graph) CloneReserve(parent *kobj.Container, name string, p label.Priv, 
 		}
 		dup := &Tap{
 			graph: g, name: t.name + "-clone", src: clone, sink: t.sink,
-			kind: TapProportional, frac: t.frac, priv: t.priv,
+			kind: TapProportional, frac: t.frac, priv: t.priv, activeIdx: -1,
 		}
 		dup.OnRelease(func() { g.releaseTap(dup) })
-		g.table.Register(&dup.Base, kobj.KindTap, t.Label(), parent, dup)
-		g.taps = append(g.taps, dup)
+		g.registerTap(&dup.Base, t.Label(), parent, dup)
 	}
 	return clone, nil
 }

@@ -67,6 +67,10 @@ type Tap struct {
 	carry int64
 	dead  bool
 	stats TapStats
+	// seq is the creation order stamp; activeIdx is this tap's position
+	// in the graph's active set, −1 while the rate is zero.
+	seq       uint64
+	activeIdx int
 }
 
 // TapStats records a tap's lifetime transfer volume.
@@ -118,6 +122,7 @@ func (t *Tap) SetRate(p label.Priv, rate units.Power) error {
 	}
 	t.kind = TapConst
 	t.rate = rate
+	t.graph.setTapActive(t, t.moves())
 	return nil
 }
 
@@ -134,7 +139,17 @@ func (t *Tap) SetFrac(p label.Priv, frac PPM) error {
 	}
 	t.kind = TapProportional
 	t.frac = frac
+	t.graph.setTapActive(t, t.moves())
 	return nil
+}
+
+// moves reports whether the tap's current kind carries a non-zero rate,
+// i.e. whether Flow needs to visit it.
+func (t *Tap) moves() bool {
+	if t.kind == TapConst {
+		return t.rate > 0
+	}
+	return t.frac > 0
 }
 
 // flow moves one batch interval's worth of energy. Amounts are clamped

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestEngineEquivalence is the differential test behind the next-event
+// engine: every registered experiment must produce a byte-identical
+// Result whether the clock is advanced tick by tick or jumped between
+// due instants. Series contents, tables, headlines and check outcomes
+// are all compared structurally and as formatted text.
+func TestEngineEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	defer sim.SetDefaultMode(sim.ModeNextEvent)
+
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sim.SetDefaultMode(sim.ModeFixedTick)
+			fixed, err := Run(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim.SetDefaultMode(sim.ModeNextEvent)
+			next, err := Run(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fixed, next) {
+				t.Errorf("results diverge between engine modes")
+			}
+			ff, nf := fixed.Format(true), next.Format(true)
+			if ff != nf {
+				t.Errorf("formatted output diverges:\n--- fixed-tick ---\n%s\n--- next-event ---\n%s", ff, nf)
+			}
+		})
+	}
+}

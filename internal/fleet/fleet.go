@@ -1,0 +1,345 @@
+// Package fleet simulates populations of independent Cinder devices
+// concurrently: N complete systems (kernel, radio, netd, applications),
+// each on its own deterministic engine, sharded across a bounded worker
+// pool and reduced to aggregate battery-life / consumed-energy /
+// utilization statistics.
+//
+// Determinism is preserved at fleet scale: every device's RNG seed is
+// derived from the fleet seed and the device index by a splitmix64 hash,
+// devices never share mutable state, and aggregation walks results in
+// device order after all workers join. The same (seed, devices,
+// scenario, duration) always produces identical reports regardless of
+// worker count or scheduling, which the package tests assert under the
+// race detector.
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/kernel"
+	"repro/internal/netd"
+	"repro/internal/radio"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// defaultWorkers bounds the pool at the machine's parallelism.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// DefaultLifeResolution is how often a device checks its battery for
+// exhaustion (and stops simulating once dead).
+const DefaultLifeResolution = units.Second
+
+// Device is one member of the fleet: a fully assembled simulated phone.
+// Scenarios install workloads onto it; collectors read it back.
+type Device struct {
+	Index int
+	// Seed is the device's derived RNG seed.
+	Seed int64
+	// Rand is a deterministic stream for scenario parameter jitter
+	// (poll phases, payload spreads), separate from the engine's RNG so
+	// workload construction cannot perturb run-time randomness.
+	Rand   *splitmix
+	Kernel *kernel.Kernel
+	Radio  *radio.Radio
+	Netd   *netd.Netd
+	// Probes are scenario-installed callbacks run after the simulation
+	// to add workload counters into the DeviceResult (PollerScenario
+	// accumulates completed polls into Polls this way).
+	Probes []func(*DeviceResult)
+}
+
+// DeviceResult is one device's outcome.
+type DeviceResult struct {
+	Index int
+	Seed  int64
+	// Consumed is total energy drawn over the run.
+	Consumed units.Energy
+	// BatteryLeft is the battery level at the end.
+	BatteryLeft units.Energy
+	// Died reports battery exhaustion; DiedAt is the instant it was
+	// detected (which can legitimately be 0 for a battery too small to
+	// cover a single baseline batch).
+	Died   bool
+	DiedAt units.Time
+	// Utilization is the CPU busy percentage.
+	Utilization float64
+	// RadioActivations counts radio power-ups.
+	RadioActivations int64
+	// Polls counts completed application-level polls (scenario-defined).
+	Polls int64
+	// PowerUps counts netd-funded activations.
+	PowerUps int64
+}
+
+// Scenario builds a workload onto a device. Implementations must be
+// safe for concurrent use: Build runs on worker goroutines, one device
+// at a time per worker, and must keep all per-device state on the
+// Device.
+type Scenario interface {
+	Name() string
+	Build(d *Device) error
+}
+
+// Config parameterizes a fleet run.
+type Config struct {
+	// Devices is the fleet size.
+	Devices int
+	// Seed is the fleet master seed; per-device seeds derive from it.
+	Seed int64
+	// Duration is the simulated time horizon per device.
+	Duration units.Time
+	// Workers bounds concurrency; 0 means one per CPU.
+	Workers int
+	// Scenario is the workload; required.
+	Scenario Scenario
+	// BatteryCapacity overrides the profile battery on every device.
+	BatteryCapacity units.Energy
+	// LifeResolution overrides DefaultLifeResolution.
+	LifeResolution units.Time
+	// EngineMode selects the time-advancement strategy (default
+	// next-event; the fixed-tick compat mode exists for A/B timing).
+	EngineMode sim.Mode
+}
+
+// Report is the deterministic aggregate of a fleet run.
+type Report struct {
+	Scenario string
+	Devices  int
+	Seed     int64
+	Duration units.Time
+	Workers  int
+
+	TotalConsumed units.Energy
+	MeanConsumed  units.Energy
+	MinConsumed   units.Energy
+	MaxConsumed   units.Energy
+
+	MeanUtilization float64
+
+	TotalPolls       int64
+	TotalActivations int64
+	TotalPowerUps    int64
+
+	// Dead counts devices whose battery ran out; LifeP50/LifeP90 are
+	// percentiles of time-to-exhaustion across dead devices (0 when
+	// none died).
+	Dead    int
+	LifeP50 units.Time
+	LifeP90 units.Time
+
+	Results []DeviceResult
+}
+
+// Format renders the report as a stable text block (the cinder-fleet
+// CLI's output). It deliberately omits the resolved worker count —
+// everything printed here is byte-identical for a fixed (seed, devices,
+// scenario, duration) regardless of parallelism, which the package
+// tests assert.
+func (r Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d devices × %v, scenario %q, seed %d\n",
+		r.Devices, r.Duration, r.Scenario, r.Seed)
+	fmt.Fprintf(&b, "  consumed: total %v, mean %v, min %v, max %v\n",
+		r.TotalConsumed, r.MeanConsumed, r.MinConsumed, r.MaxConsumed)
+	fmt.Fprintf(&b, "  cpu utilization: mean %.3f%%\n", r.MeanUtilization)
+	fmt.Fprintf(&b, "  polls: %d, radio activations: %d, netd power-ups: %d\n",
+		r.TotalPolls, r.TotalActivations, r.TotalPowerUps)
+	if r.Dead > 0 {
+		fmt.Fprintf(&b, "  battery deaths: %d/%d, life p50 %v, p90 %v\n",
+			r.Dead, r.Devices, r.LifeP50, r.LifeP90)
+	} else {
+		fmt.Fprintf(&b, "  battery deaths: 0/%d\n", r.Devices)
+	}
+	return b.String()
+}
+
+// Run simulates the fleet and returns the aggregate report.
+func Run(cfg Config) (Report, error) {
+	if cfg.Devices <= 0 {
+		return Report{}, fmt.Errorf("fleet: need at least 1 device, got %d", cfg.Devices)
+	}
+	if cfg.Scenario == nil {
+		return Report{}, fmt.Errorf("fleet: nil scenario")
+	}
+	if cfg.Duration <= 0 {
+		return Report{}, fmt.Errorf("fleet: non-positive duration %v", cfg.Duration)
+	}
+	if cfg.LifeResolution == 0 {
+		cfg.LifeResolution = DefaultLifeResolution
+	}
+	if cfg.LifeResolution < 0 {
+		return Report{}, fmt.Errorf("fleet: negative life resolution %v", cfg.LifeResolution)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	if workers > cfg.Devices {
+		workers = cfg.Devices
+	}
+
+	results := make([]DeviceResult, cfg.Devices)
+	errs := make([]error, cfg.Devices)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Devices {
+					return
+				}
+				results[i], errs[i] = runDevice(cfg, i)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return Report{}, fmt.Errorf("fleet: device %d: %w", i, err)
+		}
+	}
+	return aggregate(cfg, workers, results), nil
+}
+
+// runDevice simulates one fleet member to its horizon (or battery
+// death).
+func runDevice(cfg Config, idx int) (DeviceResult, error) {
+	seed := DeriveSeed(cfg.Seed, idx)
+	mode := cfg.EngineMode
+	if mode == sim.ModeAuto {
+		mode = sim.ModeNextEvent
+	}
+	k := kernel.New(kernel.Config{
+		Seed:            seed,
+		BatteryCapacity: cfg.BatteryCapacity,
+		EngineMode:      mode,
+	})
+	r := radio.New(k.Eng, k.Graph, k.Root, k.KernelPriv(), radio.Config{Profile: k.Profile})
+	k.AddDevice(r)
+	n, err := netd.New(k, r, netd.Config{Cooperative: true})
+	if err != nil {
+		return DeviceResult{}, err
+	}
+	d := &Device{
+		Index:  idx,
+		Seed:   seed,
+		Rand:   newSplitmix(seed),
+		Kernel: k,
+		Radio:  r,
+		Netd:   n,
+	}
+	if err := cfg.Scenario.Build(d); err != nil {
+		return DeviceResult{}, err
+	}
+
+	res := DeviceResult{Index: idx, Seed: seed}
+	k.Eng.Every("fleet:battery-watch", cfg.LifeResolution, func(e *sim.Engine) {
+		if !res.Died && k.BatteryExhausted() {
+			res.Died = true
+			res.DiedAt = e.Now()
+			e.Stop() // dead device: nothing left to measure
+		}
+	})
+	k.Run(cfg.Duration)
+
+	res.Consumed = k.Consumed()
+	if lvl, err := k.Battery().Level(k.KernelPriv()); err == nil {
+		res.BatteryLeft = lvl
+	}
+	res.Utilization = k.Sched.Utilization()
+	res.RadioActivations = r.Stats().Activations
+	res.PowerUps = n.Stats().PowerUps
+	for _, p := range d.Probes {
+		p(&res)
+	}
+	return res, nil
+}
+
+// aggregate reduces per-device results in index order, so every float
+// accumulation is order-stable and the report is identical across
+// worker counts.
+func aggregate(cfg Config, workers int, results []DeviceResult) Report {
+	rep := Report{
+		Scenario: cfg.Scenario.Name(),
+		Devices:  cfg.Devices,
+		Seed:     cfg.Seed,
+		Duration: cfg.Duration,
+		Workers:  workers,
+		Results:  results,
+	}
+	var lives []units.Time
+	for i, r := range results {
+		rep.TotalConsumed += r.Consumed
+		if i == 0 || r.Consumed < rep.MinConsumed {
+			rep.MinConsumed = r.Consumed
+		}
+		if r.Consumed > rep.MaxConsumed {
+			rep.MaxConsumed = r.Consumed
+		}
+		rep.MeanUtilization += r.Utilization
+		rep.TotalPolls += r.Polls
+		rep.TotalActivations += r.RadioActivations
+		rep.TotalPowerUps += r.PowerUps
+		if r.Died {
+			rep.Dead++
+			lives = append(lives, r.DiedAt)
+		}
+	}
+	rep.MeanConsumed = rep.TotalConsumed / units.Energy(cfg.Devices)
+	rep.MeanUtilization /= float64(cfg.Devices)
+	if len(lives) > 0 {
+		sort.Slice(lives, func(i, j int) bool { return lives[i] < lives[j] })
+		rep.LifeP50 = percentile(lives, 50)
+		rep.LifeP90 = percentile(lives, 90)
+	}
+	return rep
+}
+
+// percentile returns the nearest-rank p-th percentile of a sorted,
+// non-empty slice: the value at rank ⌈p·n/100⌉.
+func percentile(sorted []units.Time, p int) units.Time {
+	rank := (p*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// DeriveSeed maps (fleet seed, device index) to a device RNG seed via
+// splitmix64, the standard seed-sequencing finalizer: consecutive
+// indices land far apart in the stream.
+func DeriveSeed(fleetSeed int64, idx int) int64 {
+	s := splitmix{state: uint64(fleetSeed) + uint64(idx)*0x9E3779B97F4A7C15}
+	return int64(s.Next())
+}
+
+// splitmix is a tiny deterministic stream for scenario construction.
+type splitmix struct{ state uint64 }
+
+func newSplitmix(seed int64) *splitmix { return &splitmix{state: uint64(seed)} }
+
+// Next returns the next 64-bit value in the stream.
+func (s *splitmix) Next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	x := s.state
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Intn returns a deterministic value in [0, n).
+func (s *splitmix) Intn(n int64) int64 {
+	if n <= 0 {
+		panic("fleet: Intn on non-positive bound")
+	}
+	return int64(s.Next() % uint64(n))
+}

@@ -1,0 +1,210 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func testCfg(workers int) Config {
+	return Config{
+		Devices:  32,
+		Seed:     7,
+		Duration: 90 * units.Second,
+		Workers:  workers,
+		Scenario: PollerScenario{},
+	}
+}
+
+func TestFleetDeterministicAcrossRuns(t *testing.T) {
+	a, err := Run(testCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(testCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same config produced different reports:\n%s\nvs\n%s", a.Format(), b.Format())
+	}
+}
+
+func TestFleetDeterministicAcrossWorkerCounts(t *testing.T) {
+	var reports []Report
+	for _, w := range []int{1, 2, 7} {
+		r, err := Run(testCfg(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Workers = 0 // normalize the only field allowed to differ
+		reports = append(reports, r)
+	}
+	for i := 1; i < len(reports); i++ {
+		if !reflect.DeepEqual(reports[0], reports[i]) {
+			t.Fatalf("worker count changed the report:\n%s\nvs\n%s",
+				reports[0].Format(), reports[i].Format())
+		}
+	}
+}
+
+func TestFleetSeedChangesResults(t *testing.T) {
+	a, err := Run(testCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testCfg(2)
+	cfg.Seed = 8
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Results, b.Results) {
+		t.Fatal("different fleet seeds produced identical per-device results")
+	}
+}
+
+func TestFleetPollerActivity(t *testing.T) {
+	rep, err := Run(testCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalPolls == 0 {
+		t.Error("no polls completed")
+	}
+	if rep.TotalActivations == 0 {
+		t.Error("no radio activations")
+	}
+	if rep.TotalConsumed == 0 {
+		t.Error("no energy consumed")
+	}
+	for _, r := range rep.Results {
+		if r.Consumed <= 0 {
+			t.Fatalf("device %d consumed nothing", r.Index)
+		}
+	}
+}
+
+func TestFleetBatteryDeath(t *testing.T) {
+	cfg := Config{
+		Devices:  8,
+		Seed:     3,
+		Duration: 5 * units.Minute,
+		Workers:  4,
+		Scenario: IdleScenario{},
+		// 699 mW idle drains 30 J in ≈43 s: every device must die.
+		BatteryCapacity: 30 * units.Joule,
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dead != cfg.Devices {
+		t.Fatalf("Dead = %d, want %d\n%s", rep.Dead, cfg.Devices, rep.Format())
+	}
+	for _, r := range rep.Results {
+		if !r.Died {
+			t.Fatalf("device %d not marked dead", r.Index)
+		}
+		if r.DiedAt <= 30*units.Second || r.DiedAt >= 60*units.Second {
+			t.Fatalf("device %d died at %v, want ≈43 s", r.Index, r.DiedAt)
+		}
+	}
+	if rep.LifeP50 == 0 || rep.LifeP90 < rep.LifeP50 {
+		t.Fatalf("bad life percentiles: p50 %v p90 %v", rep.LifeP50, rep.LifeP90)
+	}
+}
+
+func TestFleetModeEquivalence(t *testing.T) {
+	// The whole fleet must produce identical results under the
+	// next-event and fixed-tick engines.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := testCfg(4)
+	cfg.Devices = 8
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.EngineMode = sim.ModeFixedTick
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Results, b.Results) {
+		t.Fatalf("engine mode changed fleet results:\n%s\nvs\n%s", a.Format(), b.Format())
+	}
+}
+
+func TestDeriveSeedSpread(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 10_000; i++ {
+		s := DeriveSeed(1, i)
+		if seen[s] {
+			t.Fatalf("duplicate derived seed at index %d", i)
+		}
+		seen[s] = true
+	}
+	if DeriveSeed(1, 0) == DeriveSeed(2, 0) {
+		t.Fatal("fleet seed does not influence device seeds")
+	}
+}
+
+func TestFleetConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Devices: 0, Scenario: IdleScenario{}, Duration: units.Second}); err == nil {
+		t.Error("zero devices accepted")
+	}
+	if _, err := Run(Config{Devices: 1, Duration: units.Second}); err == nil {
+		t.Error("nil scenario accepted")
+	}
+	if _, err := Run(Config{Devices: 1, Scenario: IdleScenario{}}); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := Run(Config{Devices: 1, Scenario: IdleScenario{}, Duration: units.Second,
+		LifeResolution: -units.Second}); err == nil {
+		t.Error("negative life resolution accepted")
+	}
+}
+
+func TestFleetDeathAtTimeZero(t *testing.T) {
+	// A battery too small to cover even one baseline batch dies at the
+	// very first watch firing (t=0); the Died flag must still count it.
+	rep, err := Run(Config{
+		Devices:         2,
+		Seed:            1,
+		Duration:        units.Second,
+		Workers:         1,
+		Scenario:        IdleScenario{},
+		BatteryCapacity: units.Microjoule,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dead != 2 {
+		t.Fatalf("Dead = %d, want 2\n%s", rep.Dead, rep.Format())
+	}
+	for _, r := range rep.Results {
+		if !r.Died || r.DiedAt != 0 {
+			t.Fatalf("device %d: Died=%v DiedAt=%v, want death at t=0", r.Index, r.Died, r.DiedAt)
+		}
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	lives := make([]units.Time, 10)
+	for i := range lives {
+		lives[i] = units.Time(i+1) * units.Second // 1s..10s
+	}
+	if got := percentile(lives, 50); got != 5*units.Second {
+		t.Errorf("p50 = %v, want 5 s", got)
+	}
+	if got := percentile(lives, 90); got != 9*units.Second {
+		t.Errorf("p90 = %v, want 9 s", got)
+	}
+	if got := percentile(lives[:1], 90); got != units.Second {
+		t.Errorf("p90 of singleton = %v, want 1 s", got)
+	}
+}

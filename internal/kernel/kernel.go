@@ -62,6 +62,9 @@ type Config struct {
 	TapBatch units.Time
 	// Billing selects gate billing semantics; default BillCaller.
 	Billing BillingMode
+	// EngineMode selects the engine's time-advancement strategy;
+	// ModeAuto (the zero value) uses the sim package default.
+	EngineMode sim.Mode
 	// StrictHoarding enables the §5.2.2 fundamental anti-hoarding rule.
 	StrictHoarding bool
 	// BacklightOn adds the backlight draw to the baseline.
@@ -87,11 +90,46 @@ type Kernel struct {
 	// devices receive a callback each tick so peripherals (the radio)
 	// can advance their state machines and bill their draw.
 	devices []Device
+
+	// Quiescence machinery (next-event engines only). When no thread is
+	// runnable, every device is quiescent and no tap carries a rate, the
+	// kernel defers its periodic tasks to the next horizon (earliest
+	// sleeping-thread wake) or parks them outright, and settles the
+	// accounting those firings would have performed in closed form:
+	// idle quanta via Sched.AddIdleTicks, baseline idle power via
+	// syncBaseline. Activity hooks (thread wake/creation, tap
+	// activation, radio wake-up) resume the tasks instantly, so the
+	// callback sequence — and therefore every experiment Result — is
+	// byte-identical to a tick-by-tick run.
+	taskDevices  *sim.Task
+	taskSched    *sim.Task
+	taskTaps     *sim.Task
+	taskBaseline *sim.Task
+	tapBatch     units.Time
+	// baselinePending is the earliest baseline batch boundary not yet
+	// billed; lastSchedAt is the instant of the last scheduler quantum.
+	baselinePending units.Time
+	lastSchedAt     units.Time
 }
 
 // Device is a peripheral that advances once per tick.
 type Device interface {
 	DeviceTick(now units.Time, dt units.Time)
+}
+
+// QuiescentDevice is optionally implemented by devices whose ticks are
+// periodically no-ops (a sleeping radio). The kernel skips device ticks
+// only while every registered device reports quiescence; devices without
+// the method are assumed always-active.
+type QuiescentDevice interface {
+	Quiescent() bool
+}
+
+// deviceActivityNotifier is optionally implemented by devices that can
+// leave quiescence asynchronously (a radio woken by a Send from an
+// event); the kernel subscribes to resume its device task.
+type deviceActivityNotifier interface {
+	SetActivityHook(func())
 }
 
 // New builds a kernel and registers its periodic activities on a fresh
@@ -106,7 +144,7 @@ func New(cfg Config) *Kernel {
 	if cfg.TapBatch == 0 {
 		cfg.TapBatch = DefaultTapBatch
 	}
-	eng := sim.NewEngine(cfg.Seed)
+	eng := sim.NewEngineMode(cfg.Seed, cfg.EngineMode)
 	tbl := kobj.NewTable()
 	root := kobj.NewContainer(tbl, nil, "root", label.Public())
 
@@ -132,33 +170,180 @@ func New(cfg Config) *Kernel {
 	k.Sched = sched.New(tbl, cfg.Profile.CPUActive)
 
 	tick := eng.Tick()
-	eng.Every("kernel:devices", tick, func(e *sim.Engine) {
+	k.tapBatch = cfg.TapBatch
+	k.taskDevices = eng.Every("kernel:devices", tick, func(e *sim.Engine) {
 		for _, d := range k.devices {
 			d.DeviceTick(e.Now(), tick)
 		}
+		if e.Mode() == sim.ModeNextEvent && k.devicesQuiescent() {
+			k.taskDevices.Park()
+		}
 	})
-	eng.Every("kernel:sched", tick, func(e *sim.Engine) {
-		k.Sched.Tick(e.Now(), tick)
+	k.taskSched = eng.Every("kernel:sched", tick, func(e *sim.Engine) {
+		now := e.Now()
+		if skipped := int64((now-k.lastSchedAt)/tick) - 1; skipped > 0 {
+			k.Sched.AddIdleTicks(skipped)
+		}
+		k.lastSchedAt = now
+		k.Sched.Tick(now, tick)
+		k.maybeQuiesceSched(now)
 	})
-	eng.Every("kernel:taps", cfg.TapBatch, func(*sim.Engine) {
+	k.taskTaps = eng.Every("kernel:taps", cfg.TapBatch, func(e *sim.Engine) {
 		k.Graph.Flow(cfg.TapBatch)
+		k.maybeDeferBatchTask(e, k.taskTaps)
 	})
-	eng.Every("kernel:baseline", cfg.TapBatch, func(*sim.Engine) {
+	k.taskBaseline = eng.Every("kernel:baseline", cfg.TapBatch, func(e *sim.Engine) {
 		k.billBaseline(cfg.TapBatch)
+		if due := e.Now() + cfg.TapBatch; due > k.baselinePending {
+			k.baselinePending = due
+		}
+		k.maybeDeferBatchTask(e, k.taskBaseline)
 	})
-	eng.Every("kernel:decay", units.Second, func(*sim.Engine) {
-		k.Graph.Decay(units.Second)
-	})
+	if k.Graph.HalfLife() >= 0 {
+		eng.Every("kernel:decay", units.Second, func(*sim.Engine) {
+			k.Graph.Decay(units.Second)
+		})
+	}
+	if eng.Mode() == sim.ModeNextEvent {
+		eng.SetAdvanceHook(k.syncBaseline)
+		k.Sched.SetActivityHook(k.resumeKernelTasks)
+		k.Graph.SetTapActivityHook(k.resumeKernelTasks)
+	}
 	return k
+}
+
+// devicesQuiescent reports whether every registered device declares its
+// ticks to currently be no-ops. Devices not implementing
+// QuiescentDevice are assumed always-active.
+func (k *Kernel) devicesQuiescent() bool {
+	for _, d := range k.devices {
+		q, ok := d.(QuiescentDevice)
+		if !ok || !q.Quiescent() {
+			return false
+		}
+	}
+	return true
+}
+
+// maybeQuiesceSched defers the scheduler task when its next quanta are
+// provably idle: no runnable thread means no billing and no runner
+// steps, so skipped quanta are pure idleTicks (settled in closed form by
+// the catch-up in the task body and by settle). The task defers to the
+// earliest sleeping-thread wake, or parks outright when nothing is
+// pending; thread creation and Wake resume it instantly via the
+// scheduler's activity hook. It runs from within the scheduler task's
+// own callback — the engine preserves a self-deferral instead of
+// rearming the task on its period grid.
+func (k *Kernel) maybeQuiesceSched(now units.Time) {
+	if k.Eng.Mode() != sim.ModeNextEvent || k.Sched.RunnableCount() > 0 {
+		return
+	}
+	if wake, ok := k.Sched.NextWake(); ok {
+		k.taskSched.DeferUntil(wake)
+	} else {
+		k.taskSched.Park()
+	}
+}
+
+// maybeDeferBatchTask parks a batch-grained task (tap flows, baseline
+// billing) while the whole kernel is quiescent: scheduler and device
+// tasks both deferred past the next tick and no tap carrying a rate.
+// The active-tap condition matters twice over: an active tap is work in
+// itself, and it may observe the battery level that lazily-billed
+// baseline batches would leave stale.
+func (k *Kernel) maybeDeferBatchTask(e *sim.Engine, t *sim.Task) {
+	if e.Mode() != sim.ModeNextEvent || k.Graph.ActiveTapCount() > 0 {
+		return
+	}
+	now := e.Now()
+	horizon := k.taskSched.NextDue()
+	if d := k.taskDevices.NextDue(); d < horizon {
+		horizon = d
+	}
+	if horizon <= now+e.Tick() {
+		return // kernel not quiescent beyond the next tick
+	}
+	if horizon == sim.MaxTime {
+		t.Park()
+	} else {
+		t.DeferUntil(horizon)
+	}
+}
+
+// resumeKernelTasks revives every deferred kernel task; it runs from the
+// activity hooks (thread created or woken, tap activated, radio woken)
+// and is a near-no-op when nothing is deferred. The baseline task
+// resumes at the first boundary the closed-form catch-up has not billed,
+// so no batch is ever billed twice.
+func (k *Kernel) resumeKernelTasks() {
+	k.taskSched.Resume()
+	k.taskDevices.Resume()
+	k.taskTaps.Resume()
+	k.taskBaseline.ResumeAt(k.baselinePending)
+}
+
+// syncBaseline bills, in one closed-form debit, every baseline batch
+// boundary that passed while the baseline task was deferred. It runs
+// once per executed instant (the engine's advance hook), before any
+// callback at that instant, so meters and experiments always observe
+// the battery exactly as a tick-by-tick run would have left it.
+// Boundaries at or past the task's own next firing are left to the
+// task; a boundary landing exactly on this instant is handed back to
+// the parked task too, so it bills after the instant's events in its
+// registration slot — an event at the boundary may change the baseline
+// power (SetBacklight), and the fixed-tick engine bills at the
+// post-event rate.
+func (k *Kernel) syncBaseline(now units.Time) {
+	k.syncBaselineBefore(now)
+	if k.baselinePending == now && k.taskBaseline.NextDue() > now {
+		k.taskBaseline.ResumeAt(now)
+	}
+}
+
+// syncBaselineBefore bills pending boundaries strictly before now (and
+// before the task's next firing).
+func (k *Kernel) syncBaselineBefore(now units.Time) {
+	limit := now - 1
+	if nd := k.taskBaseline.NextDue(); nd-1 < limit {
+		limit = nd - 1
+	}
+	if k.baselinePending > limit {
+		return
+	}
+	n := int64((limit-k.baselinePending)/k.tapBatch) + 1
+	k.billBaselineBatches(n)
+	k.baselinePending += units.Time(n) * k.tapBatch
+}
+
+// syncBaselineThrough bills pending boundaries up to and including now;
+// settle uses it once a Run has ended and no task firing can cover the
+// final boundary.
+func (k *Kernel) syncBaselineThrough(now units.Time) {
+	k.syncBaselineBefore(now)
+	if k.baselinePending == now && k.taskBaseline.NextDue() > now {
+		k.billBaselineBatches(1)
+		k.baselinePending += k.tapBatch
+	}
+}
+
+// settle closes out lazily-deferred accounting at the end of a Run: any
+// baseline batches and idle quanta the parked tasks would have performed
+// up to the stop instant are applied in closed form, so callers reading
+// Consumed or Utilization between Runs see exactly what a tick-by-tick
+// engine would have produced.
+func (k *Kernel) settle() {
+	now := k.Eng.Now()
+	k.syncBaselineThrough(now)
+	if n := int64((now - k.lastSchedAt) / k.Eng.Tick()); n > 0 {
+		k.Sched.AddIdleTicks(n)
+		k.lastSchedAt = now
+	}
 }
 
 // billBaseline consumes the idle (plus backlight) draw directly from the
 // battery, where the power meter observes it.
 func (k *Kernel) billBaseline(dt units.Time) {
-	p := k.Profile.Idle
-	if k.backlight {
-		p += k.Profile.Backlight
-	}
+	p := k.baselinePower()
 	var e units.Energy
 	e, k.baseCarry = p.OverRem(dt, k.baseCarry)
 	if e > 0 {
@@ -168,8 +353,49 @@ func (k *Kernel) billBaseline(dt units.Time) {
 	}
 }
 
-// SetBacklight toggles the backlight contribution to baseline draw.
-func (k *Kernel) SetBacklight(on bool) { k.backlight = on }
+// billBaselineBatches bills n baseline batches in one closed-form debit.
+// The carry arithmetic telescopes, so one n-batch OverRem equals n
+// sequential single-batch calls to the microjoule — unless the battery
+// cannot cover the total (a dying device), in which case the batches are
+// replayed one by one so the partial-drain sequence matches a
+// tick-by-tick run exactly.
+func (k *Kernel) billBaselineBatches(n int64) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 {
+		k.billBaseline(k.tapBatch)
+		return
+	}
+	p := k.baselinePower()
+	total := int64(p)*int64(k.tapBatch)*n + k.baseCarry
+	e := units.Energy(total / 1000)
+	if e <= 0 || k.Graph.Battery().CanConsume(k.kpriv, e) {
+		k.baseCarry = total % 1000
+		if e > 0 {
+			_ = k.Graph.Battery().Consume(k.kpriv, e)
+		}
+		return
+	}
+	for i := int64(0); i < n; i++ {
+		k.billBaseline(k.tapBatch)
+	}
+}
+
+func (k *Kernel) baselinePower() units.Power {
+	p := k.Profile.Idle
+	if k.backlight {
+		p += k.Profile.Backlight
+	}
+	return p
+}
+
+// SetBacklight toggles the backlight contribution to baseline draw. Any
+// lazily-deferred baseline batches are settled at the old power first.
+func (k *Kernel) SetBacklight(on bool) {
+	k.syncBaseline(k.Eng.Now())
+	k.backlight = on
+}
 
 // KernelPriv returns the kernel's privilege set (owns the system
 // category). Tests and trusted daemons (netd, the task manager) receive
@@ -184,8 +410,16 @@ func (k *Kernel) NewCategory() label.Category {
 	return c
 }
 
-// AddDevice registers a peripheral for per-tick callbacks.
-func (k *Kernel) AddDevice(d Device) { k.devices = append(k.devices, d) }
+// AddDevice registers a peripheral for per-tick callbacks. Devices that
+// can leave quiescence asynchronously (the radio, on a Send scheduled
+// from an event) are subscribed to the kernel's resume hook.
+func (k *Kernel) AddDevice(d Device) {
+	k.devices = append(k.devices, d)
+	if n, ok := d.(deviceActivityNotifier); ok {
+		n.SetActivityHook(k.resumeKernelTasks)
+	}
+	k.taskDevices.Resume()
+}
 
 // Consumed returns total energy consumed across the system — what the
 // bench supply has delivered. Experiments attach power.Meter to this.
@@ -194,11 +428,23 @@ func (k *Kernel) Consumed() units.Energy { return k.Graph.Consumed() }
 // Battery returns the root reserve.
 func (k *Kernel) Battery() *core.Reserve { return k.Graph.Battery() }
 
+// BatteryExhausted reports whether the battery can no longer cover even
+// one batch of baseline idle draw — the practical definition of a dead
+// device (the residual level is below the billing quantum, so nothing
+// can ever be paid for again).
+func (k *Kernel) BatteryExhausted() bool {
+	return !k.Graph.Battery().CanConsume(k.kpriv, k.baselinePower().Over(k.tapBatch))
+}
+
 // Now returns the current simulated time.
 func (k *Kernel) Now() units.Time { return k.Eng.Now() }
 
-// Run advances the simulation by d.
-func (k *Kernel) Run(d units.Time) { k.Eng.Run(d) }
+// Run advances the simulation by d, then settles any accounting the
+// quiescence machinery deferred past the stop instant.
+func (k *Kernel) Run(d units.Time) {
+	k.Eng.Run(d)
+	k.settle()
+}
 
 // NewMeter attaches a power meter to the kernel's consumption counter,
 // reproducing the Agilent E3644A setup.

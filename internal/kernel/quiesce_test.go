@@ -1,0 +1,55 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// TestBacklightToggleAtBoundaryModeEquivalence pins the ordering
+// contract of the lazy baseline billing: an event that changes the
+// baseline power exactly on a batch boundary, while the kernel is fully
+// quiescent, must be billed identically under both engines — the
+// fixed-tick engine bills the boundary batch after the instant's
+// events, so the parked baseline task is handed that boundary back
+// rather than having the advance hook bill it at the pre-event rate.
+func TestBacklightToggleAtBoundaryModeEquivalence(t *testing.T) {
+	consumed := func(mode sim.Mode) units.Energy {
+		k := New(Config{Seed: 1, BacklightOn: true, EngineMode: mode})
+		// No threads, no taps, no devices: fully quiescent immediately.
+		k.Eng.At(5*units.Second, func(*sim.Engine) { k.SetBacklight(false) })
+		k.Run(10 * units.Second)
+		return k.Consumed()
+	}
+	fixed, next := consumed(sim.ModeFixedTick), consumed(sim.ModeNextEvent)
+	if fixed != next {
+		t.Fatalf("consumed diverges: fixed-tick %v vs next-event %v (Δ %v)",
+			fixed, next, next-fixed)
+	}
+}
+
+// TestQuiescentIdleAccounting asserts the closed-form settlement: an
+// idle kernel's utilization and consumption match between engines even
+// across multiple Run calls (whose boundary instants are re-stepped).
+func TestQuiescentIdleAccounting(t *testing.T) {
+	type snap struct {
+		consumed    units.Energy
+		busy, idle  int64
+		utilization float64
+	}
+	run := func(mode sim.Mode) snap {
+		k := New(Config{Seed: 2, EngineMode: mode})
+		for i := 0; i < 3; i++ {
+			k.Run(7 * units.Second)
+		}
+		return snap{k.Consumed(), k.Sched.BusyTicks(), k.Sched.IdleTicks(), k.Sched.Utilization()}
+	}
+	fixed, next := run(sim.ModeFixedTick), run(sim.ModeNextEvent)
+	if fixed != next {
+		t.Fatalf("idle accounting diverges:\nfixed-tick %+v\nnext-event %+v", fixed, next)
+	}
+	if next.idle == 0 {
+		t.Fatal("no idle ticks recorded for an idle kernel")
+	}
+}

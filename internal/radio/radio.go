@@ -118,6 +118,9 @@ type Radio struct {
 	// wakeup so each completed episode's overhead can be reported.
 	episodeStart units.Energy
 	onEpisode    func(cost units.Energy)
+	// onActivity, when set, is invoked when the radio leaves Sleep. The
+	// kernel hooks it to resume a deferred device-tick task.
+	onActivity func()
 }
 
 // New creates a radio whose funding reserve lives under parent. priv
@@ -201,6 +204,15 @@ func (r *Radio) transition(now units.Time, s State) {
 	r.states.Add(now, int64(s))
 }
 
+// Quiescent reports whether the radio needs no per-tick servicing: a
+// sleeping radio draws nothing above baseline and changes state only
+// through Send/Deliver, which fire the activity hook.
+func (r *Radio) Quiescent() bool { return r.state == Sleep }
+
+// SetActivityHook installs fn to be called when the radio wakes from
+// Sleep. Pass nil to remove.
+func (r *Radio) SetActivityHook(fn func()) { r.onActivity = fn }
+
 // OnEpisode registers a callback invoked at each active→sleep
 // transition with the episode's above-baseline state energy. The
 // adaptive model estimator (§4.4) hooks this to refine activation-cost
@@ -212,6 +224,9 @@ func (r *Radio) OnEpisode(fn func(cost units.Energy)) { r.onEpisode = fn }
 func (r *Radio) wakeup(now units.Time) units.Time {
 	switch r.state {
 	case Sleep:
+		if r.onActivity != nil {
+			r.onActivity()
+		}
 		r.stats.Activations++
 		r.episodeStart = r.stats.StateEnergy
 		r.plateauScale = 1024
@@ -344,6 +359,10 @@ func (r *Radio) DeviceTick(now units.Time, dt units.Time) {
 		extra = units.Power(int64(r.profile.RadioActiveExtra) * r.plateauScale / 1024)
 		if now >= r.lastActivity+r.profile.RadioIdleTimeout {
 			r.transition(now, Sleep)
+			// Drop the sub-µJ billing residue immediately: the sleep
+			// branch zeroed it on the next tick anyway, and the kernel
+			// may never tick a sleeping radio again.
+			r.carry = 0
 			// Return any unused pre-paid activation energy to the
 			// battery so cost estimates stay honest across activations.
 			_, _ = r.graph.TransferUpTo(r.priv, r.fund, r.graph.Battery(), units.MaxEnergy)

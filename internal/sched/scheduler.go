@@ -14,6 +14,14 @@ type Scheduler struct {
 	threads  []*Thread
 	rr       int
 
+	// runnable counts threads in state Runnable, maintained across every
+	// state transition so the kernel can detect quiescence in O(1).
+	runnable int
+	// onActivity, when set, is invoked whenever a thread is created or
+	// becomes runnable. The kernel hooks it to resume deferred periodic
+	// work the moment the CPU has something to do again.
+	onActivity func()
+
 	// Accounting for the power model: busy ticks draw cpuPower, idle
 	// ticks draw nothing beyond the device baseline.
 	busyTicks int64
@@ -41,11 +49,56 @@ func (s *Scheduler) NewThread(parent *kobj.Container, name string, lbl label.Lab
 		reserves: reserves,
 		state:    Runnable,
 		runner:   runner,
+		sched:    s,
 	}
-	t.OnRelease(func() { t.state = Exited })
+	t.OnRelease(func() { t.setState(Exited) })
 	s.table.Register(&t.Base, kobj.KindThread, lbl, parent, t)
 	s.threads = append(s.threads, t)
+	s.runnable++
+	s.notifyActivity()
 	return t
+}
+
+// SetActivityHook installs fn to be called whenever a thread is created
+// or transitions into Runnable. Pass nil to remove.
+func (s *Scheduler) SetActivityHook(fn func()) { s.onActivity = fn }
+
+func (s *Scheduler) notifyActivity() {
+	if s.onActivity != nil {
+		s.onActivity()
+	}
+}
+
+// RunnableCount returns the number of threads currently in Runnable
+// state (including energy-throttled ones, which still need the CPU
+// scheduled to retry).
+func (s *Scheduler) RunnableCount() int { return s.runnable }
+
+// NextWake returns the earliest wake time among sleeping threads. ok is
+// false when no thread is sleeping. Blocked threads are excluded: they
+// wake only through an explicit Wake, which fires the activity hook.
+func (s *Scheduler) NextWake() (units.Time, bool) {
+	var at units.Time
+	ok := false
+	for _, t := range s.threads {
+		if t.state != Sleeping {
+			continue
+		}
+		if !ok || t.wakeAt < at {
+			at, ok = t.wakeAt, true
+		}
+	}
+	return at, ok
+}
+
+// AddIdleTicks records n quanta the CPU provably idled without Tick
+// being called, the closed-form accounting for quiescent intervals the
+// kernel skipped. Utilization and tick totals stay identical to a
+// tick-by-tick run.
+func (s *Scheduler) AddIdleTicks(n int64) {
+	if n > 0 {
+		s.idleTicks += n
+	}
 }
 
 // Threads returns the scheduler's threads in creation order.
@@ -66,7 +119,7 @@ func (s *Scheduler) Tick(now units.Time, dt units.Time) *Thread {
 	cost := s.quantumCost(dt)
 	for _, t := range s.threads {
 		if t.state == Sleeping && now >= t.wakeAt {
-			t.state = Runnable
+			t.setState(Runnable)
 		}
 	}
 	n := len(s.threads)

@@ -75,6 +75,7 @@ type Thread struct {
 	state    State
 	wakeAt   units.Time
 	runner   Runner
+	sched    *Scheduler
 
 	// Accounting read by experiments (the data behind Fig. 9/12).
 	cpuConsumed    units.Energy
@@ -118,12 +119,32 @@ func (t *Thread) ActiveReserve() *core.Reserve {
 	return t.reserves[0]
 }
 
+// setState transitions the thread, maintaining the scheduler's runnable
+// count and firing its activity hook on transitions into Runnable.
+func (t *Thread) setState(s State) {
+	if t.state == s {
+		return
+	}
+	if t.sched != nil {
+		if t.state == Runnable {
+			t.sched.runnable--
+		}
+		if s == Runnable {
+			t.sched.runnable++
+		}
+	}
+	t.state = s
+	if s == Runnable && t.sched != nil {
+		t.sched.notifyActivity()
+	}
+}
+
 // Sleep puts the thread to sleep until the given absolute time.
 func (t *Thread) Sleep(until units.Time) {
 	if t.state == Exited {
 		return
 	}
-	t.state = Sleeping
+	t.setState(Sleeping)
 	t.wakeAt = until
 }
 
@@ -132,7 +153,7 @@ func (t *Thread) Block() {
 	if t.state == Exited {
 		return
 	}
-	t.state = Blocked
+	t.setState(Blocked)
 }
 
 // Wake makes a sleeping or blocked thread runnable.
@@ -140,11 +161,11 @@ func (t *Thread) Wake() {
 	if t.state == Exited {
 		return
 	}
-	t.state = Runnable
+	t.setState(Runnable)
 }
 
 // Exit permanently stops the thread.
-func (t *Thread) Exit() { t.state = Exited }
+func (t *Thread) Exit() { t.setState(Exited) }
 
 // CPUConsumed returns the total CPU energy billed to this thread.
 func (t *Thread) CPUConsumed() units.Energy { return t.cpuConsumed }

@@ -2,9 +2,16 @@
 // the Cinder simulation: a virtual clock, a time-ordered event queue,
 // periodic task scheduling, and a seeded random source.
 //
-// The engine advances in fixed-size ticks (1 ms by default). Each tick
-// the loop fires due one-shot events, then runs every registered periodic
-// task whose period divides the current time, in registration order.
+// The engine is a next-event simulator on a fixed 1 ms grid. Every
+// instant at which work is due — a one-shot event fires, or a periodic
+// task's per-task nextDue arrives — is executed exactly as a fixed-tick
+// engine would execute it (due events first, then due tasks in
+// registration order), but the clock jumps directly from one due instant
+// to the next instead of visiting every tick in between. A compatibility
+// mode (ModeFixedTick) still walks every tick; the two modes execute the
+// identical callback sequence and are asserted byte-equivalent by the
+// differential tests in internal/experiments.
+//
 // Determinism is a design requirement — every experiment in the paper's
 // evaluation is reproduced as an exact, repeatable run — so the engine
 // never consults wall-clock time and all randomness flows from an
@@ -14,7 +21,9 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/units"
 )
@@ -23,6 +32,57 @@ import (
 // to resolve the paper's shortest interval of interest (the 200 ms power
 // meter sampling) while keeping 20-minute experiments cheap.
 const DefaultTick = units.Millisecond
+
+// MaxTime is the parked sentinel Task.NextDue returns for tasks
+// suspended indefinitely by Park.
+const MaxTime = units.Time(math.MaxInt64)
+
+// Mode selects how the engine advances time.
+type Mode uint8
+
+const (
+	// ModeAuto resolves to the package default (see SetDefaultMode).
+	ModeAuto Mode = iota
+	// ModeNextEvent jumps the clock directly between due instants.
+	ModeNextEvent
+	// ModeFixedTick visits every tick, reproducing the original
+	// fixed-quantum engine. It exists for differential testing and
+	// A/B benchmarks.
+	ModeFixedTick
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeNextEvent:
+		return "next-event"
+	case ModeFixedTick:
+		return "fixed-tick"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// defaultMode holds the mode ModeAuto resolves to; stored atomically so
+// concurrent engine construction (the fleet runner) is race-free.
+var defaultMode atomic.Int32
+
+func init() { defaultMode.Store(int32(ModeNextEvent)) }
+
+// SetDefaultMode changes what ModeAuto resolves to for subsequently
+// created engines. The differential tests use it to run the whole
+// experiment registry under both advancement strategies.
+func SetDefaultMode(m Mode) {
+	if m == ModeAuto {
+		m = ModeNextEvent
+	}
+	defaultMode.Store(int32(m))
+}
+
+// DefaultMode returns the mode ModeAuto currently resolves to.
+func DefaultMode() Mode { return Mode(defaultMode.Load()) }
 
 // Event is a one-shot callback scheduled for a particular simulated time.
 type Event struct {
@@ -36,7 +96,7 @@ type Event struct {
 }
 
 // Task is a callback invoked on a fixed period. Tasks registered earlier
-// run earlier within a tick.
+// run earlier within an instant.
 type Task struct {
 	// Name identifies the task in String output and panics.
 	Name string
@@ -49,31 +109,132 @@ type Task struct {
 	// Fn is invoked with the engine at each firing.
 	Fn func(e *Engine)
 
-	stopped bool
+	eng     *Engine
+	nextDue units.Time
+	// deferred marks a task whose nextDue has been pushed past its
+	// natural grid by DeferUntil/Park (the kernel's quiescence
+	// machinery). Resume only acts on deferred tasks, so it can never
+	// pull an on-schedule task back for a spurious same-instant refire.
+	deferred bool
+	stopped  bool
 }
 
-// Stop permanently disables the task. Safe to call from within the task
-// itself.
-func (t *Task) Stop() { t.stopped = true }
+// Stop permanently disables the task and removes it from the engine's
+// task list at the end of the current instant (stopped tasks are not
+// scanned for the remainder of the run). Safe to call from within the
+// task itself.
+func (t *Task) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	if t.eng != nil {
+		t.eng.tasksDirty = true
+	}
+}
+
+// Stopped reports whether the task has been stopped.
+func (t *Task) Stopped() bool { return t.stopped }
+
+// NextDue returns the instant of the task's next firing (MaxTime when
+// parked).
+func (t *Task) NextDue() units.Time { return t.nextDue }
+
+// DeferUntil postpones the task's next firing to the earliest instant on
+// the task's period grid at or after `until`. It never moves a firing
+// earlier. The kernel uses this to skip guaranteed-idle quanta; the
+// caller is responsible for any catch-up accounting the skipped firings
+// would have performed.
+func (t *Task) DeferUntil(until units.Time) {
+	if t.stopped {
+		return
+	}
+	due := firstDueAt(t.Period, t.Phase, until)
+	if due > t.nextDue {
+		t.nextDue = due
+		t.deferred = true
+	}
+}
+
+// Park suspends the task indefinitely; only Resume, ResumeAt, or a
+// Run-boundary re-step revives it.
+func (t *Task) Park() {
+	if t.stopped {
+		return
+	}
+	t.nextDue = MaxTime
+	t.deferred = true
+}
+
+// Resume undoes a DeferUntil/Park: the task next fires at the earliest
+// on-grid instant at or after the engine's current time (which may be
+// the current instant, if Resume is called before the task loop runs).
+// Resuming a task that was never deferred is a no-op.
+func (t *Task) Resume() { t.ResumeAt(0) }
+
+// ResumeAt is Resume with a lower bound: the task next fires at the
+// earliest on-grid instant ≥ max(now, at). The kernel resumes its
+// baseline-billing task this way so boundaries already billed by the
+// closed-form catch-up are not billed twice.
+func (t *Task) ResumeAt(at units.Time) {
+	if t.stopped || !t.deferred {
+		return
+	}
+	if t.eng != nil && t.eng.now > at {
+		at = t.eng.now
+	}
+	t.nextDue = firstDueAt(t.Period, t.Phase, at)
+	t.deferred = false
+}
+
+// firstDueAt returns the smallest instant t ≥ from with t ≥ phase and
+// (t−phase) a multiple of period.
+func firstDueAt(period, phase, from units.Time) units.Time {
+	if from <= phase {
+		return phase
+	}
+	r := (from - phase) % period
+	if r == 0 {
+		return from
+	}
+	return from + period - r
+}
 
 // Engine drives simulated time forward.
 type Engine struct {
 	now    units.Time
 	tick   units.Time
+	mode   Mode
 	events eventHeap
 	tasks  []*Task
 	rng    *rand.Rand
 	seq    uint64
 
-	// stopRequested halts Run/RunUntil at the end of the current tick.
+	// stopRequested halts Run/RunUntil at the end of the current instant.
 	stopRequested bool
+	// tasksDirty marks stopped tasks awaiting removal.
+	tasksDirty bool
+	// advanceHook, when set, runs once per executed instant before any
+	// callback at that instant. The kernel uses it to settle lazily
+	// deferred accounting (baseline idle billing) so every observer at
+	// the instant sees fully up-to-date state.
+	advanceHook func(now units.Time)
 }
 
-// NewEngine returns an engine at time zero with the default 1 ms tick and
-// the given random seed.
+// NewEngine returns an engine at time zero with the default 1 ms tick,
+// the package-default advancement mode and the given random seed.
 func NewEngine(seed int64) *Engine {
+	return NewEngineMode(seed, ModeAuto)
+}
+
+// NewEngineMode returns an engine with an explicit advancement mode.
+func NewEngineMode(seed int64, mode Mode) *Engine {
+	if mode == ModeAuto {
+		mode = DefaultMode()
+	}
 	return &Engine{
 		tick: DefaultTick,
+		mode: mode,
 		rng:  rand.New(rand.NewSource(seed)),
 	}
 }
@@ -84,11 +245,18 @@ func (e *Engine) Now() units.Time { return e.now }
 // Tick returns the engine quantum.
 func (e *Engine) Tick() units.Time { return e.tick }
 
+// Mode returns the resolved advancement mode.
+func (e *Engine) Mode() Mode { return e.mode }
+
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
+// SetAdvanceHook installs fn to run once per executed instant, before
+// any event or task callback at that instant. Pass nil to remove.
+func (e *Engine) SetAdvanceHook(fn func(now units.Time)) { e.advanceHook = fn }
+
 // Stop requests that Run or RunUntil return at the end of the current
-// tick. It is the mechanism experiments use to end early (for example
+// instant. It is the mechanism experiments use to end early (for example
 // when a workload completes).
 func (e *Engine) Stop() { e.stopRequested = true }
 
@@ -137,25 +305,36 @@ func (e *Engine) EveryPhased(name string, period, phase units.Time, fn func(e *E
 	if phase < 0 || phase%e.tick != 0 {
 		panic(fmt.Sprintf("sim: task %q phase %v is not a non-negative multiple of tick %v", name, phase, e.tick))
 	}
-	t := &Task{Name: name, Period: period, Phase: phase, Fn: fn}
+	t := &Task{Name: name, Period: period, Phase: phase, Fn: fn, eng: e}
+	t.nextDue = firstDueAt(period, phase, e.now)
 	e.tasks = append(e.tasks, t)
 	return t
 }
 
-// RunUntil advances simulated time tick by tick until it reaches end
-// (inclusive of work scheduled at end) or Stop is called. It returns the
-// time at which it stopped.
+// RunUntil advances simulated time until it reaches end (inclusive of
+// work scheduled at end) or Stop is called. It returns the time at which
+// it stopped.
+//
+// The entry instant is always (re-)stepped: a task due at the boundary
+// between two consecutive Run calls fires in both, exactly as the
+// original fixed-tick engine behaved (its outer loop re-entered step()
+// at the instant the previous call ended on). Experiments that poll with
+// repeated short Runs depend on that cadence, so both modes preserve it.
 func (e *Engine) RunUntil(end units.Time) units.Time {
 	if end < e.now {
 		panic(fmt.Sprintf("sim: RunUntil(%v) is before now %v", end, e.now))
 	}
 	e.stopRequested = false
-	for e.now <= end {
+	if e.advanceHook != nil {
+		e.advanceHook(e.now)
+	}
+	e.rewindDue()
+	for {
 		e.step()
 		if e.stopRequested || e.now >= end {
 			break
 		}
-		e.now += e.tick
+		e.advance(end)
 	}
 	return e.now
 }
@@ -166,23 +345,128 @@ func (e *Engine) Run(d units.Time) units.Time {
 	return e.RunUntil(e.now + d)
 }
 
-// step performs the work of a single tick at the current time: due
-// events first, then periodic tasks in registration order.
+// rewindDue re-arms every task that is due at the current instant by the
+// periodic schedule, so the entry re-step of RunUntil fires it again
+// (see RunUntil). Deferred tasks are revived too — the fixed-tick engine
+// fired them at every due instant, and their owners' catch-up accounting
+// makes the revival exact.
+func (e *Engine) rewindDue() {
+	for _, t := range e.tasks {
+		if t.stopped {
+			continue
+		}
+		if e.now >= t.Phase && (e.now-t.Phase)%t.Period == 0 {
+			t.nextDue = e.now
+			t.deferred = false
+		}
+	}
+}
+
+// advance moves the clock to the next instant: the following tick in
+// fixed-tick mode, or the earliest due instant (clamped to end) in
+// next-event mode.
+func (e *Engine) advance(end units.Time) {
+	if e.mode == ModeFixedTick {
+		e.now += e.tick
+	} else {
+		e.now = e.nextWork(end)
+	}
+	if e.advanceHook != nil {
+		e.advanceHook(e.now)
+	}
+}
+
+// nextWork returns the earliest instant after now at which work is due,
+// clamped to end. An event or task stamped at or before now (scheduled
+// during the current instant after its phase of the step had passed)
+// resolves to the immediately following tick, matching the fixed-tick
+// engine's behaviour.
+func (e *Engine) nextWork(end units.Time) units.Time {
+	next := end
+	if len(e.events) > 0 {
+		at := e.events[0].At
+		if at <= e.now {
+			at = e.now + e.tick
+		}
+		if at < next {
+			next = at
+		}
+	}
+	for _, t := range e.tasks {
+		if t.stopped || t.nextDue == MaxTime {
+			continue
+		}
+		due := t.nextDue
+		if due <= e.now {
+			due = e.now + e.tick
+		}
+		if due < next {
+			next = due
+		}
+	}
+	if next <= e.now {
+		next = e.now + e.tick
+	}
+	return next
+}
+
+// step performs the work of a single instant at the current time: due
+// events first, then due periodic tasks in registration order. Tasks
+// registered during the event phase may fire in the same instant; tasks
+// registered from within the task loop wait for their next due instant,
+// both exactly as the fixed-tick engine behaved (its task loop iterated
+// a snapshot of the list).
 func (e *Engine) step() {
 	for len(e.events) > 0 && e.events[0].At <= e.now {
 		ev := heap.Pop(&e.events).(*Event)
 		ev.index = -1
 		ev.Fn(e)
 	}
-	for _, t := range e.tasks {
-		if t.stopped {
+	n := len(e.tasks)
+	for i := 0; i < n; i++ {
+		t := e.tasks[i]
+		if t.stopped || t.nextDue > e.now {
 			continue
 		}
-		if e.now >= t.Phase && (e.now-t.Phase)%t.Period == 0 {
-			t.Fn(e)
+		if t.nextDue < e.now {
+			// Stale nextDue (the task was registered too late to fire at
+			// its stamped instant): realign to the period grid, firing
+			// only if a grid point lands exactly here.
+			t.nextDue = firstDueAt(t.Period, t.Phase, e.now)
+			if t.nextDue > e.now {
+				continue
+			}
+		}
+		t.Fn(e)
+		if !t.stopped && t.nextDue <= e.now {
+			// A callback may defer or park its own task; preserve that
+			// instead of rearming on the period grid.
+			t.nextDue = e.now + t.Period
+			t.deferred = false
 		}
 	}
+	if e.tasksDirty {
+		e.compactTasks()
+	}
 }
+
+// compactTasks removes stopped tasks, preserving registration order.
+func (e *Engine) compactTasks() {
+	live := e.tasks[:0]
+	for _, t := range e.tasks {
+		if !t.stopped {
+			live = append(live, t)
+		}
+	}
+	for i := len(live); i < len(e.tasks); i++ {
+		e.tasks[i] = nil
+	}
+	e.tasks = live
+	e.tasksDirty = false
+}
+
+// Tasks reports the number of live registered tasks.
+func (e *Engine) Tasks() int { return len(e.tasks) }
 
 // PendingEvents reports the number of one-shot events not yet fired.
 func (e *Engine) PendingEvents() int { return len(e.events) }
