@@ -312,14 +312,22 @@ type (
 func RunFleet(cfg FleetConfig) (FleetReport, error) { return fleet.Run(cfg) }
 
 // FleetScenarios returns the built-in fleet workloads by name
-// (poller, idle, spinner).
+// (poller, idle, spinner, dayinthelife).
 func FleetScenarios() map[string]FleetScenario { return fleet.Scenarios() }
 
 // Experiments lists the registered paper artifacts (fig3…table1).
 func Experiments() []string { return experiments.Names() }
 
-// RunExperiment executes one registered experiment by ID.
+// ExtendedExperiments lists the beyond-the-paper experiments
+// (dayinthelife…), runnable by name but excluded from the frozen
+// RunAllExperiments output.
+func ExtendedExperiments() []string { return experiments.ExtendedNames() }
+
+// RunExperiment executes one registered experiment by ID (paper
+// artifact or extended).
 func RunExperiment(name string) (Result, error) { return experiments.Run(name) }
 
-// RunAllExperiments executes every registered experiment.
+// RunAllExperiments executes every paper-artifact experiment. The
+// output is byte-stable (frozen by the regression baseline); extended
+// experiments run individually via RunExperiment.
 func RunAllExperiments() []Result { return experiments.RunAll() }

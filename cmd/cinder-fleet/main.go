@@ -9,6 +9,8 @@
 //
 //	cinder-fleet -devices 1000 -duration 20m -scenario poller
 //	cinder-fleet -devices 200 -scenario idle -battery-j 100 -per-device
+//	cinder-fleet -devices 1000 -duration 24h -scenario dayinthelife -json
+//	cinder-fleet -devices 500 -scenario dayinthelife -duration 24h -sweep battery-j=15000,30000,60000
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -32,8 +35,10 @@ func main() {
 		scenario  = flag.String("scenario", "poller", "workload: "+scenarioNames())
 		workers   = flag.Int("workers", 0, "worker goroutines (0 = one per CPU)")
 		batteryJ  = flag.Float64("battery-j", 0, "override battery capacity in joules (0 = profile default)")
-		perDevice = flag.Bool("per-device", false, "also print one line per device")
+		perDevice = flag.Bool("per-device", false, "also print one line per device (with -json: include per-device results)")
 		fixedTick = flag.Bool("fixed-tick", false, "use the fixed-tick compat engine (A/B timing)")
+		jsonOut   = flag.Bool("json", false, "emit the deterministic JSON report instead of text")
+		sweep     = flag.String("sweep", "", "sweep mode, e.g. battery-j=15000,30000,60000: run the fleet once per value")
 	)
 	flag.Parse()
 
@@ -55,6 +60,13 @@ func main() {
 		cfg.EngineMode = sim.ModeFixedTick
 	}
 
+	if *sweep != "" {
+		if err := runSweep(cfg, *sweep, *jsonOut, *perDevice); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	start := time.Now()
 	rep, err := fleet.Run(cfg)
 	if err != nil {
@@ -62,22 +74,121 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
+	if *jsonOut {
+		printJSON(rep, *perDevice)
+		return
+	}
 	fmt.Print(rep.Format())
 	simulated := time.Duration(int64(cfg.Duration)) * time.Millisecond * time.Duration(cfg.Devices)
-	fmt.Printf("  wall clock: %v with %d workers (%.0fx realtime across the fleet)\n",
-		elapsed.Round(time.Millisecond), rep.Workers, simulated.Seconds()/elapsed.Seconds())
+	fmt.Printf("  wall clock: %v with %d workers (%s realtime across the fleet)\n",
+		elapsed.Round(time.Millisecond), rep.Workers, realtimeRatio(simulated, elapsed))
 
 	if *perDevice {
-		fmt.Println("  per-device:")
-		for _, r := range rep.Results {
-			died := "-"
-			if r.Died {
-				died = r.DiedAt.String()
+		printPerDevice(rep)
+	}
+}
+
+// printPerDevice renders one line per device of a report.
+func printPerDevice(rep fleet.Report) {
+	fmt.Println("  per-device:")
+	for _, r := range rep.Results {
+		died := "-"
+		if r.Died {
+			died = r.DiedAt.String()
+		}
+		fmt.Printf("    #%04d seed=%-20d %-14s consumed=%-12v util=%6.2f%% polls=%-4d activations=%-3d died=%s\n",
+			r.Index, r.Seed, r.Scenario, r.Consumed, r.Utilization, r.Polls, r.RadioActivations, died)
+	}
+}
+
+// realtimeRatio formats simulated/elapsed defensively: a tiny run can
+// finish below the wall clock's resolution, and a bare division would
+// print +Inf or NaN. The elapsed time is clamped to one nanosecond.
+func realtimeRatio(simulated, elapsed time.Duration) string {
+	if simulated <= 0 {
+		return "0x"
+	}
+	if elapsed < time.Nanosecond {
+		elapsed = time.Nanosecond
+	}
+	return fmt.Sprintf("%.0fx", simulated.Seconds()/elapsed.Seconds())
+}
+
+// runSweep parses a sweep spec ("battery-j=a,b,c"), runs the fleet once
+// per value, and prints a per-value summary (or a JSON array with
+// -json). Only the battery-life sweep is defined for now.
+func runSweep(cfg fleet.Config, spec string, jsonOut, perDevice bool) error {
+	key, list, ok := strings.Cut(spec, "=")
+	if !ok || key != "battery-j" {
+		return fmt.Errorf("unsupported sweep %q (want battery-j=v1,v2,...)", spec)
+	}
+	var caps []units.Energy
+	for _, f := range strings.Split(list, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("bad sweep value %q: want positive joules", f)
+		}
+		caps = append(caps, units.Joules(v))
+	}
+	if len(caps) == 0 {
+		return fmt.Errorf("empty sweep %q", spec)
+	}
+
+	reports := make([]fleet.Report, len(caps))
+	for i, c := range caps {
+		run := cfg
+		run.BatteryCapacity = c
+		rep, err := fleet.Run(run)
+		if err != nil {
+			return err
+		}
+		reports[i] = rep
+	}
+
+	if jsonOut {
+		fmt.Println("[")
+		for i, rep := range reports {
+			b, err := rep.JSON(perDevice)
+			if err != nil {
+				return err
 			}
-			fmt.Printf("    #%04d seed=%-20d consumed=%-12v util=%6.2f%% polls=%-4d activations=%-3d died=%s\n",
-				r.Index, r.Seed, r.Consumed, r.Utilization, r.Polls, r.RadioActivations, died)
+			sep := ","
+			if i == len(reports)-1 {
+				sep = ""
+			}
+			fmt.Printf("%s%s\n", b, sep)
+		}
+		fmt.Println("]")
+		return nil
+	}
+
+	fmt.Printf("battery-life sweep: %d devices × %v, scenario %q, seed %d\n",
+		cfg.Devices, cfg.Duration, cfg.Scenario.Name(), cfg.Seed)
+	fmt.Printf("  %-12s  %-12s  %-10s  %-12s  %-12s\n",
+		"battery", "mean drawn", "deaths", "life p50", "life p90")
+	for i, rep := range reports {
+		life50, life90 := "-", "-"
+		if rep.Dead > 0 {
+			life50, life90 = rep.LifeP50.String(), rep.LifeP90.String()
+		}
+		fmt.Printf("  %-12v  %-12v  %-10s  %-12s  %-12s\n",
+			caps[i], rep.MeanConsumed, fmt.Sprintf("%d/%d", rep.Dead, rep.Devices), life50, life90)
+	}
+	if perDevice {
+		for i, rep := range reports {
+			fmt.Printf("battery %v:\n", caps[i])
+			printPerDevice(rep)
 		}
 	}
+	return nil
+}
+
+func printJSON(rep fleet.Report, perDevice bool) {
+	b, err := rep.JSON(perDevice)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(b))
 }
 
 func scenarioNames() string {

@@ -36,6 +36,10 @@ func main() {
 		for _, n := range cinder.Experiments() {
 			fmt.Println("  " + n)
 		}
+		fmt.Println("extended (beyond the paper; run with -exp, excluded from -all):")
+		for _, n := range cinder.ExtendedExperiments() {
+			fmt.Println("  " + n)
+		}
 		return
 	case *all:
 		failed := 0

@@ -53,11 +53,17 @@ type Graph struct {
 	// onTapActivity, when set, is invoked when a tap acquires a non-zero
 	// rate. The kernel hooks it to resume a deferred flow batch task.
 	onTapActivity func()
-	tapSeq        uint64
-	consumed      units.Energy
-	capacity      units.Energy
-	halfLife      units.Time
-	strict        bool
+	// flowScratch is Flow's reusable snapshot buffer, so a tap released
+	// or zeroed mid-batch cannot shift later taps out of the batch.
+	flowScratch []*Tap
+	// flowHook, when set, runs before each tap of a flow batch. It is a
+	// test seam for exercising mid-batch mutations of the active set.
+	flowHook func(*Tap)
+	tapSeq   uint64
+	consumed units.Energy
+	capacity units.Energy
+	halfLife units.Time
+	strict   bool
 	// decayFactor is the per-Decay-interval retention in 2⁻³⁰ fixed
 	// point, memoized per interval length.
 	decayFactorDT units.Time
@@ -166,7 +172,11 @@ func (g *Graph) newReserve(parent *kobj.Container, name string, lbl label.Label,
 
 // releaseReserve handles kobj deallocation: any remaining energy returns
 // to the battery so deleting a reserve can never destroy energy, then
-// the reserve stops participating in flows.
+// the reserve stops participating in flows. Every tap touching the
+// reserve is deactivated as well: a tap with a dead endpoint can never
+// move energy again, so leaving it in the active set would pin
+// ActiveTapCount above zero forever and permanently defeat the kernel's
+// quiescence fast path.
 func (g *Graph) releaseReserve(r *Reserve) {
 	if r == g.battery {
 		panic("core: battery reserve deleted")
@@ -175,11 +185,27 @@ func (g *Graph) releaseReserve(r *Reserve) {
 		g.battery.credit(r.level)
 		r.stats.Out += r.level
 		r.level = 0
+	} else if r.level < 0 {
+		// A reserve deleted in debt (§5.5.2 after-the-fact billing that
+		// no tap ever funded) has consumed energy that was never
+		// sourced; the battery absorbs the shortfall — possibly going
+		// negative on an overdrawn device — so deletion can neither
+		// create nor destroy energy.
+		debt := -r.level
+		g.battery.level -= debt
+		g.battery.stats.Out += debt
+		r.stats.In += debt
+		r.level = 0
 	}
 	r.dead = true
 	g.reserves = removeFirst(g.reserves, r)
 	if !r.decayExempt {
 		g.decayable = removeFirst(g.decayable, r)
+	}
+	for _, t := range g.taps {
+		if t.src == r || t.sink == r {
+			g.setTapActive(t, false)
+		}
 	}
 }
 
@@ -233,14 +259,23 @@ func (g *Graph) releaseTap(t *Tap) {
 // energy, in creation order. The kernel calls this periodically (§3.3:
 // "transfers are executed in batch periodically"). Zero-rate taps are
 // not visited; they would move nothing.
+//
+// The batch operates on a true snapshot of the active set: a callback
+// reached from a tap's flow may release or zero any tap (which compacts
+// g.active in place) without shifting a later tap out of the batch.
+// Taps activated during the batch start next batch; taps released
+// mid-batch are marked dead and skipped; taps zeroed mid-batch are
+// visited but move nothing.
 func (g *Graph) Flow(dt units.Time) {
 	if dt <= 0 {
 		return
 	}
-	// Iterate over a stable snapshot index-wise; taps activated during a
-	// flow start next batch, taps deleted are marked dead and skipped.
-	for i := 0; i < len(g.active); i++ {
-		g.active[i].flow(dt)
+	g.flowScratch = append(g.flowScratch[:0], g.active...)
+	for _, t := range g.flowScratch {
+		if g.flowHook != nil {
+			g.flowHook(t)
+		}
+		t.flow(dt)
 	}
 }
 

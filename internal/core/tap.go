@@ -114,6 +114,12 @@ func (t *Tap) SetRate(p label.Priv, rate units.Power) error {
 	if t.dead {
 		return fmt.Errorf("%w: tap %q", ErrDead, t.name)
 	}
+	if t.src.dead || t.sink.dead {
+		// A tap whose endpoint died can never move energy again;
+		// admitting a rate would only re-enter it into the active set
+		// as a zombie that defeats kernel quiescence.
+		return fmt.Errorf("%w: tap %q endpoints", ErrDead, t.name)
+	}
 	if !p.CanModify(t.Label()) {
 		return fmt.Errorf("%w: modify tap %q", ErrAccess, t.name)
 	}
@@ -130,6 +136,9 @@ func (t *Tap) SetRate(p label.Priv, rate units.Power) error {
 func (t *Tap) SetFrac(p label.Priv, frac PPM) error {
 	if t.dead {
 		return fmt.Errorf("%w: tap %q", ErrDead, t.name)
+	}
+	if t.src.dead || t.sink.dead {
+		return fmt.Errorf("%w: tap %q endpoints", ErrDead, t.name)
 	}
 	if !p.CanModify(t.Label()) {
 		return fmt.Errorf("%w: modify tap %q", ErrAccess, t.name)

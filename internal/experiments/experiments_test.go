@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/units"
 )
 
 // requirePass runs an experiment and fails the test with the formatted
@@ -83,6 +85,24 @@ func TestRegistry(t *testing.T) {
 	if _, err := Run("nope"); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
+	// Extended experiments resolve through Run but stay out of Names()
+	// (and therefore out of the frozen -all output).
+	extendedWant := []string{"dayinthelife"}
+	if strings.Join(ExtendedNames(), ",") != strings.Join(extendedWant, ",") {
+		t.Fatalf("ExtendedNames() = %v, want %v", ExtendedNames(), extendedWant)
+	}
+	for _, n := range ExtendedNames() {
+		if _, paper := registry[n]; paper {
+			t.Fatalf("experiment %q registered as both paper artifact and extended", n)
+		}
+	}
+}
+
+func TestDayInTheLife(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long: two mixed 24 h fleet runs")
+	}
+	requirePass(t, DayInTheLife(DayInTheLifeOptions{Devices: 30, Duration: 24 * units.Hour, Seed: 1}))
 }
 
 func TestResultFormatting(t *testing.T) {

@@ -14,6 +14,7 @@
 package fleet
 
 import (
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sort"
@@ -22,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/kernel"
+	"repro/internal/msm"
 	"repro/internal/netd"
 	"repro/internal/radio"
 	"repro/internal/sim"
@@ -48,16 +50,43 @@ type Device struct {
 	Kernel *kernel.Kernel
 	Radio  *radio.Radio
 	Netd   *netd.Netd
+	// Smdd is the device's ARM9 baseband daemon. It is nil until a
+	// scenario that needs voice/SMS/GPS calls EnsureSmdd, so pure
+	// data-path scenarios pay nothing for the modem model.
+	Smdd *msm.Smdd
+	// Scenario is the device's workload bucket name for per-scenario
+	// report breakdowns. runDevice seeds it with the config scenario's
+	// name; Mix overrides it with the chosen entry's name.
+	Scenario string
 	// Probes are scenario-installed callbacks run after the simulation
 	// to add workload counters into the DeviceResult (PollerScenario
 	// accumulates completed polls into Polls this way).
 	Probes []func(*DeviceResult)
 }
 
+// EnsureSmdd boots the device's baseband daemon (shared-memory channel,
+// ARM9 model, smd.* gates) on first use and returns it. Workloads that
+// place calls or send SMS call this at install time so the gates exist
+// before their phase fires.
+func (d *Device) EnsureSmdd() (*msm.Smdd, error) {
+	if d.Smdd != nil {
+		return d.Smdd, nil
+	}
+	s, err := msm.NewSmdd(d.Kernel, msm.DefaultSmddConfig(), msm.DefaultARM9Config())
+	if err != nil {
+		return nil, err
+	}
+	d.Smdd = s
+	return s, nil
+}
+
 // DeviceResult is one device's outcome.
 type DeviceResult struct {
 	Index int
 	Seed  int64
+	// Scenario is the workload bucket the device was assigned (the
+	// scenario name, or the Mix entry's name for mixed fleets).
+	Scenario string
 	// Consumed is total energy drawn over the run.
 	Consumed units.Energy
 	// BatteryLeft is the battery level at the end.
@@ -73,8 +102,18 @@ type DeviceResult struct {
 	RadioActivations int64
 	// Polls counts completed application-level polls (scenario-defined).
 	Polls int64
+	// Pages counts completed browsing page loads (Browse workload).
+	Pages int64
 	// PowerUps counts netd-funded activations.
 	PowerUps int64
+	// SMSSent and CallsPlaced count baseband activity (devices with an
+	// Smdd only).
+	SMSSent     int64
+	CallsPlaced int64
+	// EngineSteps is the number of simulation instants the device's
+	// engine actually executed — the quiescence fast path shows up as
+	// EngineSteps ≪ simulated ticks.
+	EngineSteps uint64
 }
 
 // Scenario builds a workload onto a device. Implementations must be
@@ -133,7 +172,40 @@ type Report struct {
 	LifeP50 units.Time
 	LifeP90 units.Time
 
+	// Buckets break the fleet down per scenario bucket, sorted by
+	// name. Single-scenario runs have exactly one bucket; Mix fleets
+	// have one per entry that was assigned at least one device.
+	Buckets []Bucket
+
 	Results []DeviceResult
+}
+
+// Bucket is the aggregate over the devices assigned one scenario bucket
+// of a (possibly mixed) fleet.
+type Bucket struct {
+	Name    string
+	Devices int
+
+	TotalConsumed units.Energy
+	MeanConsumed  units.Energy
+
+	MeanUtilization float64
+
+	Polls       int64
+	Pages       int64
+	Activations int64
+	PowerUps    int64
+	SMSSent     int64
+	Calls       int64
+
+	// MeanSteps is the mean executed-instant count per device — the
+	// per-bucket measure of how deeply the quiescence fast path was
+	// engaged.
+	MeanSteps uint64
+
+	Dead    int
+	LifeP50 units.Time
+	LifeP90 units.Time
 }
 
 // Format renders the report as a stable text block (the cinder-fleet
@@ -156,7 +228,146 @@ func (r Report) Format() string {
 	} else {
 		fmt.Fprintf(&b, "  battery deaths: 0/%d\n", r.Devices)
 	}
+	if len(r.Buckets) > 1 {
+		b.WriteString("  mix buckets:\n")
+		for _, bk := range r.Buckets {
+			fmt.Fprintf(&b, "    %-14s %4d devices, mean %v, polls %d, pages %d, sms %d, calls %d, deaths %d",
+				bk.Name, bk.Devices, bk.MeanConsumed, bk.Polls, bk.Pages, bk.SMSSent, bk.Calls, bk.Dead)
+			if bk.Dead > 0 {
+				fmt.Fprintf(&b, " (life p50 %v, p90 %v)", bk.LifeP50, bk.LifeP90)
+			}
+			b.WriteString("\n")
+		}
+	}
 	return b.String()
+}
+
+// reportJSON is the stable wire form of a Report. It deliberately
+// excludes the resolved worker count and anything wall-clock-derived:
+// for a fixed (seed, devices, scenario, duration) the marshalled bytes
+// are identical regardless of parallelism, which tests assert. Energies
+// are microjoules, times milliseconds (the package's native units).
+type reportJSON struct {
+	Scenario   string `json:"scenario"`
+	Devices    int    `json:"devices"`
+	Seed       int64  `json:"seed"`
+	DurationMS int64  `json:"duration_ms"`
+
+	TotalConsumedUJ int64   `json:"total_consumed_uj"`
+	MeanConsumedUJ  int64   `json:"mean_consumed_uj"`
+	MinConsumedUJ   int64   `json:"min_consumed_uj"`
+	MaxConsumedUJ   int64   `json:"max_consumed_uj"`
+	MeanUtilization float64 `json:"mean_utilization_pct"`
+
+	Polls       int64 `json:"polls"`
+	Activations int64 `json:"radio_activations"`
+	PowerUps    int64 `json:"netd_power_ups"`
+
+	Dead      int   `json:"dead"`
+	LifeP50MS int64 `json:"life_p50_ms"`
+	LifeP90MS int64 `json:"life_p90_ms"`
+
+	Buckets []bucketJSON `json:"buckets"`
+	Results []deviceJSON `json:"results,omitempty"`
+}
+
+type bucketJSON struct {
+	Name            string  `json:"name"`
+	Devices         int     `json:"devices"`
+	TotalConsumedUJ int64   `json:"total_consumed_uj"`
+	MeanConsumedUJ  int64   `json:"mean_consumed_uj"`
+	MeanUtilization float64 `json:"mean_utilization_pct"`
+	Polls           int64   `json:"polls"`
+	Pages           int64   `json:"pages"`
+	Activations     int64   `json:"radio_activations"`
+	PowerUps        int64   `json:"netd_power_ups"`
+	SMSSent         int64   `json:"sms_sent"`
+	Calls           int64   `json:"calls_placed"`
+	MeanSteps       uint64  `json:"mean_engine_steps"`
+	Dead            int     `json:"dead"`
+	LifeP50MS       int64   `json:"life_p50_ms"`
+	LifeP90MS       int64   `json:"life_p90_ms"`
+}
+
+type deviceJSON struct {
+	Index         int     `json:"index"`
+	Seed          int64   `json:"seed"`
+	Scenario      string  `json:"scenario"`
+	ConsumedUJ    int64   `json:"consumed_uj"`
+	BatteryLeftUJ int64   `json:"battery_left_uj"`
+	Died          bool    `json:"died"`
+	DiedAtMS      int64   `json:"died_at_ms,omitempty"`
+	Utilization   float64 `json:"utilization_pct"`
+	Activations   int64   `json:"radio_activations"`
+	Polls         int64   `json:"polls"`
+	Pages         int64   `json:"pages"`
+	PowerUps      int64   `json:"netd_power_ups"`
+	SMSSent       int64   `json:"sms_sent"`
+	Calls         int64   `json:"calls_placed"`
+	EngineSteps   uint64  `json:"engine_steps"`
+}
+
+// JSON renders the report as deterministic, worker-count-independent
+// indented JSON. perDevice includes the per-device result array.
+func (r Report) JSON(perDevice bool) ([]byte, error) {
+	out := reportJSON{
+		Scenario:        r.Scenario,
+		Devices:         r.Devices,
+		Seed:            r.Seed,
+		DurationMS:      int64(r.Duration),
+		TotalConsumedUJ: int64(r.TotalConsumed),
+		MeanConsumedUJ:  int64(r.MeanConsumed),
+		MinConsumedUJ:   int64(r.MinConsumed),
+		MaxConsumedUJ:   int64(r.MaxConsumed),
+		MeanUtilization: r.MeanUtilization,
+		Polls:           r.TotalPolls,
+		Activations:     r.TotalActivations,
+		PowerUps:        r.TotalPowerUps,
+		Dead:            r.Dead,
+		LifeP50MS:       int64(r.LifeP50),
+		LifeP90MS:       int64(r.LifeP90),
+	}
+	for _, b := range r.Buckets {
+		out.Buckets = append(out.Buckets, bucketJSON{
+			Name:            b.Name,
+			Devices:         b.Devices,
+			TotalConsumedUJ: int64(b.TotalConsumed),
+			MeanConsumedUJ:  int64(b.MeanConsumed),
+			MeanUtilization: b.MeanUtilization,
+			Polls:           b.Polls,
+			Pages:           b.Pages,
+			Activations:     b.Activations,
+			PowerUps:        b.PowerUps,
+			SMSSent:         b.SMSSent,
+			Calls:           b.Calls,
+			MeanSteps:       b.MeanSteps,
+			Dead:            b.Dead,
+			LifeP50MS:       int64(b.LifeP50),
+			LifeP90MS:       int64(b.LifeP90),
+		})
+	}
+	if perDevice {
+		for _, d := range r.Results {
+			out.Results = append(out.Results, deviceJSON{
+				Index:         d.Index,
+				Seed:          d.Seed,
+				Scenario:      d.Scenario,
+				ConsumedUJ:    int64(d.Consumed),
+				BatteryLeftUJ: int64(d.BatteryLeft),
+				Died:          d.Died,
+				DiedAtMS:      int64(d.DiedAt),
+				Utilization:   d.Utilization,
+				Activations:   d.RadioActivations,
+				Polls:         d.Polls,
+				Pages:         d.Pages,
+				PowerUps:      d.PowerUps,
+				SMSSent:       d.SMSSent,
+				Calls:         d.CallsPlaced,
+				EngineSteps:   d.EngineSteps,
+			})
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
 }
 
 // Run simulates the fleet and returns the aggregate report.
@@ -225,17 +436,18 @@ func runDevice(cfg Config, idx int) (DeviceResult, error) {
 	})
 	r := radio.New(k.Eng, k.Graph, k.Root, k.KernelPriv(), radio.Config{Profile: k.Profile})
 	k.AddDevice(r)
-	n, err := netd.New(k, r, netd.Config{Cooperative: true})
+	n, err := netd.New(k, r, netd.Config{Cooperative: true, QuiescentSweep: true})
 	if err != nil {
 		return DeviceResult{}, err
 	}
 	d := &Device{
-		Index:  idx,
-		Seed:   seed,
-		Rand:   newSplitmix(seed),
-		Kernel: k,
-		Radio:  r,
-		Netd:   n,
+		Index:    idx,
+		Seed:     seed,
+		Rand:     newSplitmix(seed),
+		Kernel:   k,
+		Radio:    r,
+		Netd:     n,
+		Scenario: cfg.Scenario.Name(),
 	}
 	if err := cfg.Scenario.Build(d); err != nil {
 		return DeviceResult{}, err
@@ -251,6 +463,7 @@ func runDevice(cfg Config, idx int) (DeviceResult, error) {
 	})
 	k.Run(cfg.Duration)
 
+	res.Scenario = d.Scenario
 	res.Consumed = k.Consumed()
 	if lvl, err := k.Battery().Level(k.KernelPriv()); err == nil {
 		res.BatteryLeft = lvl
@@ -258,6 +471,12 @@ func runDevice(cfg Config, idx int) (DeviceResult, error) {
 	res.Utilization = k.Sched.Utilization()
 	res.RadioActivations = r.Stats().Activations
 	res.PowerUps = n.Stats().PowerUps
+	res.EngineSteps = k.Eng.Steps()
+	if d.Smdd != nil {
+		s := d.Smdd.Stats()
+		res.SMSSent = s.SMSSent
+		res.CallsPlaced = s.CallsPlaced
+	}
 	for _, p := range d.Probes {
 		p(&res)
 	}
@@ -301,7 +520,56 @@ func aggregate(cfg Config, workers int, results []DeviceResult) Report {
 		rep.LifeP50 = percentile(lives, 50)
 		rep.LifeP90 = percentile(lives, 90)
 	}
+	rep.Buckets = bucketize(results)
 	return rep
+}
+
+// bucketize reduces results into per-scenario buckets, sorted by bucket
+// name. Devices are walked in index order and names sorted at the end,
+// so the output is identical regardless of worker count.
+func bucketize(results []DeviceResult) []Bucket {
+	byName := make(map[string]*Bucket)
+	lives := make(map[string][]units.Time)
+	var names []string
+	for _, r := range results {
+		b := byName[r.Scenario]
+		if b == nil {
+			b = &Bucket{Name: r.Scenario}
+			byName[r.Scenario] = b
+			names = append(names, r.Scenario)
+		}
+		b.Devices++
+		b.TotalConsumed += r.Consumed
+		b.MeanUtilization += r.Utilization
+		b.Polls += r.Polls
+		b.Pages += r.Pages
+		b.Activations += r.RadioActivations
+		b.PowerUps += r.PowerUps
+		b.SMSSent += r.SMSSent
+		b.Calls += r.CallsPlaced
+		// Accumulated as a total here, divided into a mean below —
+		// the same pattern as MeanUtilization.
+		b.MeanSteps += r.EngineSteps
+		if r.Died {
+			b.Dead++
+			lives[r.Scenario] = append(lives[r.Scenario], r.DiedAt)
+		}
+	}
+	sort.Strings(names)
+	out := make([]Bucket, 0, len(names))
+	for _, n := range names {
+		b := byName[n]
+		b.MeanConsumed = b.TotalConsumed / units.Energy(b.Devices)
+		b.MeanUtilization /= float64(b.Devices)
+		b.MeanSteps /= uint64(b.Devices)
+		if l := lives[n]; len(l) > 0 {
+			sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+			b.LifeP50 = percentile(l, 50)
+			b.LifeP90 = percentile(l, 90)
+		}
+		out = append(out, *b)
+	}
+	return out
 }
 
 // percentile returns the nearest-rank p-th percentile of a sorted,

@@ -134,6 +134,18 @@ func TestFleetModeEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// EngineSteps is the one field that legitimately differs between
+	// modes (it measures how many instants the engine visited, which is
+	// precisely what next-event advancement reduces); everything it
+	// must be *smaller* for.
+	for i := range a.Results {
+		if b.Results[i].EngineSteps < a.Results[i].EngineSteps {
+			t.Fatalf("device %d: next-event executed more instants (%d) than fixed-tick (%d)",
+				i, a.Results[i].EngineSteps, b.Results[i].EngineSteps)
+		}
+		a.Results[i].EngineSteps = 0
+		b.Results[i].EngineSteps = 0
+	}
 	if !reflect.DeepEqual(a.Results, b.Results) {
 		t.Fatalf("engine mode changed fleet results:\n%s\nvs\n%s", a.Format(), b.Format())
 	}
@@ -206,5 +218,75 @@ func TestPercentileNearestRank(t *testing.T) {
 	}
 	if got := percentile(lives[:1], 90); got != units.Second {
 		t.Errorf("p90 of singleton = %v, want 1 s", got)
+	}
+	// Rank rounding at n=2: ⌈0.5·2⌉ = 1 (the min), ⌈0.9·2⌉ = 2 (the
+	// max) — p90 must round up, not truncate to the min.
+	if got := percentile(lives[:2], 50); got != units.Second {
+		t.Errorf("p50 of pair = %v, want 1 s", got)
+	}
+	if got := percentile(lives[:2], 90); got != 2*units.Second {
+		t.Errorf("p90 of pair = %v, want 2 s", got)
+	}
+	// And at n=10 the ranks are exact decile boundaries (asserted
+	// above); p100 is the max at every n.
+	if got := percentile(lives, 100); got != 10*units.Second {
+		t.Errorf("p100 = %v, want 10 s", got)
+	}
+}
+
+// TestAggregateSingleDevice: the degenerate fleet must produce
+// self-consistent aggregates (min = max = mean, one bucket covering the
+// device).
+func TestAggregateSingleDevice(t *testing.T) {
+	rep, err := Run(Config{
+		Devices: 1, Seed: 2, Duration: 30 * units.Second, Workers: 1, Scenario: IdleScenario{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MinConsumed != rep.MaxConsumed || rep.MeanConsumed != rep.MinConsumed {
+		t.Fatalf("single-device aggregates disagree: min %v mean %v max %v",
+			rep.MinConsumed, rep.MeanConsumed, rep.MaxConsumed)
+	}
+	if rep.TotalConsumed != rep.Results[0].Consumed {
+		t.Fatalf("total %v != device consumed %v", rep.TotalConsumed, rep.Results[0].Consumed)
+	}
+	if len(rep.Buckets) != 1 || rep.Buckets[0].Name != "idle" || rep.Buckets[0].Devices != 1 {
+		t.Fatalf("bad buckets for single device: %+v", rep.Buckets)
+	}
+	if rep.Dead != 0 || rep.LifeP50 != 0 || rep.LifeP90 != 0 {
+		t.Fatalf("phantom deaths: dead %d p50 %v p90 %v", rep.Dead, rep.LifeP50, rep.LifeP90)
+	}
+}
+
+// TestAggregateAllDead: when every device dies the percentiles must
+// come from the full population and the buckets must agree.
+func TestAggregateAllDead(t *testing.T) {
+	rep, err := Run(Config{
+		Devices:         2,
+		Seed:            4,
+		Duration:        5 * units.Minute,
+		Workers:         2,
+		Scenario:        IdleScenario{},
+		BatteryCapacity: 30 * units.Joule, // ≈43 s at 699 mW
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dead != 2 {
+		t.Fatalf("Dead = %d, want 2", rep.Dead)
+	}
+	// Nearest-rank over two deaths: p50 is the earlier, p90 the later.
+	a, b := rep.Results[0].DiedAt, rep.Results[1].DiedAt
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if rep.LifeP50 != lo || rep.LifeP90 != hi {
+		t.Fatalf("percentiles p50 %v p90 %v, want %v and %v", rep.LifeP50, rep.LifeP90, lo, hi)
+	}
+	if len(rep.Buckets) != 1 || rep.Buckets[0].Dead != 2 ||
+		rep.Buckets[0].LifeP50 != rep.LifeP50 || rep.Buckets[0].LifeP90 != rep.LifeP90 {
+		t.Fatalf("bucket deaths disagree with fleet: %+v", rep.Buckets[0])
 	}
 }

@@ -119,8 +119,9 @@ func (s SpinnerScenario) Build(d *Device) error {
 // choices).
 func Scenarios() map[string]Scenario {
 	return map[string]Scenario{
-		"poller":  PollerScenario{},
-		"idle":    IdleScenario{},
-		"spinner": SpinnerScenario{},
+		"poller":       PollerScenario{},
+		"idle":         IdleScenario{},
+		"spinner":      SpinnerScenario{},
+		"dayinthelife": DayInTheLife(),
 	}
 }

@@ -3,6 +3,8 @@ package kernel
 import (
 	"testing"
 
+	"repro/internal/kobj"
+	"repro/internal/label"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -26,6 +28,71 @@ func TestBacklightToggleAtBoundaryModeEquivalence(t *testing.T) {
 	if fixed != next {
 		t.Fatalf("consumed diverges: fixed-tick %v vs next-event %v (Δ %v)",
 			fixed, next, next-fixed)
+	}
+}
+
+// TestReserveDeletionRestoresQuiescence is the regression test for the
+// tap-lifecycle leak: deleting a reserve that is the endpoint of a live
+// tap used to leave the tap in the graph's active set forever, so the
+// kernel's flow/baseline batch tasks never parked again and an idle
+// post-deletion run degenerated to tick-by-tick execution. After the
+// fix, the deletion deactivates the orphaned tap, ActiveTapCount drops
+// to zero, and the remainder of the run re-enters the next-event fast
+// path (executed instants ≪ ticks).
+func TestReserveDeletionRestoresQuiescence(t *testing.T) {
+	k := New(Config{Seed: 3, EngineMode: sim.ModeNextEvent})
+	// An app whose reserve lives in its own container while the feeding
+	// tap lives in root: deleting the app container kills the reserve
+	// but not the tap — the exact shape that leaked.
+	app := kobj.NewContainer(k.Table, k.Root, "app", label.Public())
+	res := k.CreateReserve(app, "app-reserve", label.Public())
+	tap, err := k.CreateTap(k.Root, "app-tap", k.KernelPriv(), k.Battery(), res, label.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tap.SetRate(k.KernelPriv(), units.Milliwatts(10)); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(10 * units.Second)
+
+	if err := k.Table.Delete(app.ObjectID()); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Graph.ActiveTapCount(); got != 0 {
+		t.Fatalf("ActiveTapCount = %d after reserve deletion, want 0", got)
+	}
+
+	// The rest of the run is pure idle: the engine must visit only a
+	// tiny fraction of the remaining ticks (1 s decay task + horizon
+	// instants, not 10 ms tap batches).
+	before := k.Eng.Steps()
+	idle := units.Time(10 * units.Minute)
+	k.Run(idle)
+	steps := k.Eng.Steps() - before
+	ticks := uint64(idle / k.Eng.Tick())
+	if steps*100 >= ticks {
+		t.Fatalf("idle run executed %d instants over %d ticks — quiescence fast path not restored", steps, ticks)
+	}
+
+	// And the accounting must still match a tick-by-tick run.
+	k2 := New(Config{Seed: 3, EngineMode: sim.ModeFixedTick})
+	app2 := kobj.NewContainer(k2.Table, k2.Root, "app", label.Public())
+	res2 := k2.CreateReserve(app2, "app-reserve", label.Public())
+	tap2, err := k2.CreateTap(k2.Root, "app-tap", k2.KernelPriv(), k2.Battery(), res2, label.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tap2.SetRate(k2.KernelPriv(), units.Milliwatts(10)); err != nil {
+		t.Fatal(err)
+	}
+	k2.Run(10 * units.Second)
+	if err := k2.Table.Delete(app2.ObjectID()); err != nil {
+		t.Fatal(err)
+	}
+	k2.Run(idle)
+	if k.Consumed() != k2.Consumed() {
+		t.Fatalf("post-deletion consumption diverges: next-event %v vs fixed-tick %v",
+			k.Consumed(), k2.Consumed())
 	}
 }
 

@@ -177,6 +177,21 @@ type ARM9 struct {
 	smsSent  int64
 	seq      uint64
 	statsSMS int64
+	// onActivity, when set, fires the moment the baseband starts a
+	// continuous draw (call goes active, GPS engine powers on) — the
+	// instants at which smdd stops being quiescent and the kernel must
+	// resume per-tick device servicing.
+	onActivity func()
+}
+
+// SetActivityHook installs fn to be called when the baseband begins a
+// continuous draw. Pass nil to remove.
+func (a *ARM9) SetActivityHook(fn func()) { a.onActivity = fn }
+
+func (a *ARM9) notifyActivity() {
+	if a.onActivity != nil {
+		a.onActivity()
+	}
 }
 
 // NewARM9 boots the baseband. batteryPercent is sampled on demand.
@@ -212,6 +227,7 @@ func (a *ARM9) Request(m Message) {
 		a.eng.After(a.cfg.CallSetupTime, func(*sim.Engine) {
 			if a.call == CallDialing {
 				a.call = CallActive
+				a.notifyActivity()
 				a.sm.postToApps(Message{Kind: RespCallState, Seq: m.Seq, Arg: int64(CallActive)})
 			}
 		})
@@ -225,6 +241,7 @@ func (a *ARM9) Request(m Message) {
 			return
 		}
 		a.gpsOn = true
+		a.notifyActivity()
 		first := a.eng.Now() + a.cfg.GPSFixTime
 		a.gpsTask = a.eng.EveryPhased("arm9:gps",
 			a.cfg.GPSFixInterval, alignUp(first, a.cfg.GPSFixInterval),

@@ -162,6 +162,19 @@ func NewSmdd(k *kernel.Kernel, cfg SmddConfig, arm9cfg ARM9Config) (*Smdd, error
 // ARM9 exposes the baseband model (tests inject incoming traffic).
 func (d *Smdd) ARM9() *ARM9 { return d.arm9 }
 
+// Quiescent reports whether smdd's per-tick servicing is currently a
+// no-op: DeviceTick only bills while a voice call is active or the GPS
+// engine is powered. While quiescent the kernel may park its device
+// task; the activity hook (below) revives it the instant a continuous
+// draw begins.
+func (d *Smdd) Quiescent() bool {
+	return d.arm9.CallStateNow() != CallActive && !d.arm9.GPSOn()
+}
+
+// SetActivityHook subscribes the kernel's resume hook to the baseband's
+// leave-quiescence transitions (call goes active, GPS powers on).
+func (d *Smdd) SetActivityHook(fn func()) { d.arm9.SetActivityHook(fn) }
+
 // Stats returns a copy of the counters.
 func (d *Smdd) Stats() Stats { return d.stats }
 

@@ -62,6 +62,12 @@ type Config struct {
 	// with an online estimate refined from past activations (§9 /
 	// internal/estimator). Nil keeps the offline-measured 9.5 J.
 	Estimator interface{ Estimate() units.Energy }
+	// QuiescentSweep parks the periodic sweep while no caller is
+	// waiting; a new waiter revives it. A sweep with no waiters changes
+	// no state — it only samples the pool trace — so results are
+	// unaffected, but the device can fully quiesce between sessions
+	// (the fleet runner enables this; experiments keep the dense trace).
+	QuiescentSweep bool
 }
 
 // Request is the argument applications pass through the netd gate: a
@@ -115,6 +121,7 @@ type Netd struct {
 	waiters   []waiter
 	stats     Stats
 	poolTrace *trace.Series
+	sweepTask *sim.Task
 }
 
 // New creates netd, its pooled reserve (decay-exempt: §5.5.2 trusts
@@ -141,7 +148,7 @@ func New(k *kernel.Kernel, r *radio.Radio, cfg Config) (*Netd, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netd: %w", err)
 	}
-	k.Eng.Every("netd:sweep", cfg.SweepPeriod, func(e *sim.Engine) { n.sweep(e.Now()) })
+	n.sweepTask = k.Eng.Every("netd:sweep", cfg.SweepPeriod, func(e *sim.Engine) { n.sweep(e.Now()) })
 	return n, nil
 }
 
@@ -183,6 +190,9 @@ func (n *Netd) handlePoll(call *kernel.Call) error {
 
 	w := waiter{th: th, priv: call.BillPriv(), bill: call.BillTo(), req: req}
 	n.waiters = append(n.waiters, w)
+	if n.cfg.QuiescentSweep {
+		n.sweepTask.Resume()
+	}
 	// Contribute whatever the caller's taps have accumulated (§5.5.2).
 	n.contribute(w)
 	if n.poolReady(call.Now) {
@@ -235,6 +245,9 @@ func (n *Netd) sweep(now units.Time) {
 		return int64(lvl)
 	}())
 	if len(n.waiters) == 0 {
+		if n.cfg.QuiescentSweep {
+			n.sweepTask.Park()
+		}
 		return
 	}
 	for _, w := range n.waiters {

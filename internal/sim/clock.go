@@ -209,6 +209,11 @@ type Engine struct {
 	tasks  []*Task
 	rng    *rand.Rand
 	seq    uint64
+	// steps counts executed instants. In next-event mode it is the
+	// direct measure of how much of the timeline was actually visited —
+	// the quiescence fast path shows up as steps ≪ duration/tick — and
+	// regression tests assert on it.
+	steps uint64
 
 	// stopRequested halts Run/RunUntil at the end of the current instant.
 	stopRequested bool
@@ -417,6 +422,7 @@ func (e *Engine) nextWork(end units.Time) units.Time {
 // both exactly as the fixed-tick engine behaved (its task loop iterated
 // a snapshot of the list).
 func (e *Engine) step() {
+	e.steps++
 	for len(e.events) > 0 && e.events[0].At <= e.now {
 		ev := heap.Pop(&e.events).(*Event)
 		ev.index = -1
@@ -464,6 +470,12 @@ func (e *Engine) compactTasks() {
 	e.tasks = live
 	e.tasksDirty = false
 }
+
+// Steps reports the number of instants the engine has executed. A
+// fixed-tick engine executes one instant per tick; a next-event engine
+// executes only the instants at which work was due, so Steps is the
+// measure of how effective the quiescence machinery is.
+func (e *Engine) Steps() uint64 { return e.steps }
 
 // Tasks reports the number of live registered tasks.
 func (e *Engine) Tasks() int { return len(e.tasks) }
