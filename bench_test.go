@@ -436,6 +436,77 @@ func benchIdleDevice(b *testing.B, mode sim.Mode) {
 	b.ReportMetric(consumed.Joules(), "J-consumed")
 }
 
+// BenchmarkBusyTapDevice measures the closed-form settlement fast path
+// on the workload it was built for: a device with an always-active
+// constant tap and periodic radio polls, simulated for 10 minutes.
+func BenchmarkBusyTapDevice(b *testing.B) {
+	benchBusyTapDevice(b, kernel.SettleClosedForm)
+}
+
+// BenchmarkBusyTapDevicePerBatch is the same device with settlement
+// disabled — the PR 2 busy path — for the A/B ratio recorded in
+// BENCH_flow.json.
+func BenchmarkBusyTapDevicePerBatch(b *testing.B) {
+	benchBusyTapDevice(b, kernel.SettlePerBatch)
+}
+
+func benchBusyTapDevice(b *testing.B, settle kernel.SettleMode) {
+	b.Helper()
+	var consumed units.Energy
+	for i := 0; i < b.N; i++ {
+		k := kernel.New(kernel.Config{Seed: 42, Settle: settle})
+		r := radio.New(k.Eng, k.Graph, k.Root, k.KernelPriv(), radio.Config{Profile: k.Profile})
+		k.AddDevice(r)
+		app := k.CreateReserve(k.Root, "app", label.Public())
+		tap, err := k.CreateTap(k.Root, "tap", k.KernelPriv(), k.Battery(), app, label.Public())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tap.SetRate(k.KernelPriv(), units.Milliwatts(79)); err != nil {
+			b.Fatal(err)
+		}
+		for at := units.Time(1500); at < 10*units.Minute; at += 45 * units.Second {
+			at := at
+			k.Eng.At(at, func(e *sim.Engine) {
+				r.Exchange(e.Now(), 300, 12<<10, app, k.KernelPriv(), nil)
+			})
+		}
+		k.Run(10 * units.Minute)
+		consumed = k.Consumed()
+	}
+	b.ReportMetric(consumed.Joules(), "J-consumed")
+}
+
+// BenchmarkFleetDayInTheLifeMix runs the scaled-down day-in-the-life mix
+// (64 devices × 4 simulated hours) under closed-form settlement.
+func BenchmarkFleetDayInTheLifeMix(b *testing.B) {
+	benchDayInTheLifeMix(b, kernel.SettleClosedForm)
+}
+
+// BenchmarkFleetDayInTheLifeMixPerBatch is the per-batch A/B twin.
+func BenchmarkFleetDayInTheLifeMixPerBatch(b *testing.B) {
+	benchDayInTheLifeMix(b, kernel.SettlePerBatch)
+}
+
+func benchDayInTheLifeMix(b *testing.B, settle kernel.SettleMode) {
+	b.Helper()
+	var rep fleet.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = fleet.Run(fleet.Config{
+			Devices:  64,
+			Seed:     1,
+			Duration: 4 * units.Hour,
+			Scenario: fleet.DayInTheLife(),
+			Settle:   settle,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rep.TotalEngineSteps)/float64(rep.Devices), "instants/device")
+}
+
 // BenchmarkFleet100Pollers runs a 100-device cooperative-poller fleet
 // for 2 simulated minutes, the scaled-down version of the cinder-fleet
 // CLI's default sweep.

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/kernel"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -37,6 +38,7 @@ func main() {
 		batteryJ  = flag.Float64("battery-j", 0, "override battery capacity in joules (0 = profile default)")
 		perDevice = flag.Bool("per-device", false, "also print one line per device (with -json: include per-device results)")
 		fixedTick = flag.Bool("fixed-tick", false, "use the fixed-tick compat engine (A/B timing)")
+		perBatch  = flag.Bool("per-batch", false, "disable closed-form tap settlement (A/B timing)")
 		jsonOut   = flag.Bool("json", false, "emit the deterministic JSON report instead of text")
 		sweep     = flag.String("sweep", "", "sweep mode, e.g. battery-j=15000,30000,60000: run the fleet once per value")
 	)
@@ -58,6 +60,9 @@ func main() {
 	}
 	if *fixedTick {
 		cfg.EngineMode = sim.ModeFixedTick
+	}
+	if *perBatch {
+		cfg.Settle = kernel.SettlePerBatch
 	}
 
 	if *sweep != "" {

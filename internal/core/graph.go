@@ -64,6 +64,14 @@ type Graph struct {
 	capacity units.Energy
 	halfLife units.Time
 	strict   bool
+	// Settlement state (settle.go): per-plan epoch, reusable partition
+	// buffers, and the walk/settled counters surfaced in fleet reports.
+	settleEpoch     uint64
+	settleTelescope []*Tap
+	settleReplay    []*Tap
+	settleSrcs      []*Reserve
+	flowWalks       int64
+	settledBatches  int64
 	// decayFactor is the per-Decay-interval retention in 2⁻³⁰ fixed
 	// point, memoized per interval length.
 	decayFactorDT units.Time
@@ -270,6 +278,7 @@ func (g *Graph) Flow(dt units.Time) {
 	if dt <= 0 {
 		return
 	}
+	g.flowWalks++
 	g.flowScratch = append(g.flowScratch[:0], g.active...)
 	for _, t := range g.flowScratch {
 		if g.flowHook != nil {

@@ -43,6 +43,26 @@ var (
 	ErrHoarding = errors.New("core: transfer would evade backward taps")
 )
 
+// insufficientErr is the ErrInsufficient instance returned by Consume
+// and DebitSelf. Failing consumptions are an expected steady state (a
+// dead battery is billed every batch until the device stops; throttled
+// threads retry every quantum), so the message is formatted lazily —
+// construction is a single allocation with no fmt work.
+type insufficientErr struct {
+	name       string
+	have, need units.Energy
+	debt       bool
+}
+
+func (e *insufficientErr) Error() string {
+	if e.debt {
+		return fmt.Sprintf("%v: %q does not allow debt", ErrInsufficient, e.name)
+	}
+	return fmt.Sprintf("%v: %q has %v, need %v", ErrInsufficient, e.name, e.have, e.need)
+}
+
+func (e *insufficientErr) Unwrap() error { return ErrInsufficient }
+
 // Accounting is the per-reserve consumption record applications read to
 // build energy-aware behaviour (§3.2 "reserves also provide accounting").
 type Accounting struct {
@@ -81,6 +101,12 @@ type Reserve struct {
 	// decayCarry holds fixed-point residue of the exponential decay so
 	// long-run half-life is exact. Units: µJ·2⁻³⁰.
 	decayCarry int64
+	// Settlement scratch (settle.go): epoch marks and worst-case drain
+	// sums, valid only for the graph's current settleEpoch.
+	sensitiveMark uint64
+	settleMark    uint64
+	settleDrain   int64
+	settleCarry   int64
 }
 
 // Name returns the reserve's diagnostic name.
@@ -126,7 +152,7 @@ func (r *Reserve) Consume(p label.Priv, amount units.Energy) error {
 	}
 	if r.level < amount {
 		r.stats.ConsumeFailures++
-		return fmt.Errorf("%w: %q has %v, need %v", ErrInsufficient, r.name, r.level, amount)
+		return &insufficientErr{name: r.name, have: r.level, need: amount}
 	}
 	r.level -= amount
 	r.stats.Consumed += amount
@@ -155,7 +181,7 @@ func (r *Reserve) DebitSelf(p label.Priv, amount units.Energy) error {
 		return fmt.Errorf("%w: use reserve %q", ErrAccess, r.name)
 	}
 	if !r.allowDebt && r.level < amount {
-		return fmt.Errorf("%w: %q does not allow debt", ErrInsufficient, r.name)
+		return &insufficientErr{name: r.name, debt: true}
 	}
 	r.level -= amount
 	r.stats.Consumed += amount

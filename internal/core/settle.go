@@ -1,0 +1,261 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/units"
+)
+
+// This file implements closed-form tap settlement: advancing the graph
+// through many Flow batches in far less than one walk per batch while
+// remaining byte-identical — levels, carries, stats, starvation — to the
+// per-batch sequence. The kernel uses it to park its flow task between
+// engine instants and catch up lazily.
+//
+// The key observations:
+//
+//   - A constant tap's per-batch transfer is independent of any reserve
+//     level (absent starvation): the carry arithmetic telescopes, so n
+//     batches collapse into one exact debit/credit.
+//   - A proportional tap reads its *source* level every batch, so the
+//     source's whole per-batch trajectory matters. Such "sensitive"
+//     reserves — and every tap touching them — must be replayed batch by
+//     batch. The replay still runs in creation order, so it is exact; it
+//     merely skips the per-batch engine overhead.
+//   - Starvation makes constant taps level-dependent too. The per-reserve
+//     depletion horizon bounds how many batches can pass before any
+//     source could fail to cover its worst-case outflow (ignoring all
+//     inflows); within that horizon, no tap clamps and order between
+//     telescoped and replayed taps is irrelevant.
+//
+// The topological pass is the sensitive-set computation: frac-tap chains
+// (a proportional tap whose source is itself fed by a proportional tap)
+// resolve naturally, because every link of the chain marks its source
+// sensitive and is itself replayed in sequence order.
+
+// horizonCap bounds the returned horizon so that per-tap totals
+// (rate × dt × k + carry) can never overflow int64.
+const horizonCap = math.MaxInt64 / 4
+
+// HorizonBatches returns how many consecutive Flow(dt) batches are
+// provably settleable in closed form from the graph's current state: the
+// depletion horizon. Within the horizon no reserve can hit zero and no
+// tap's draw can saturate (clamp to a dry source), even assuming every
+// inflow stops. extraBatteryDrain is additional per-batch draw the
+// caller will interleave with the batches (the kernel's baseline
+// billing), charged against the battery's horizon.
+//
+// A zero horizon means the next batch must be replayed exactly (a source
+// is near-dry, a proportional tap drains the battery while the caller
+// interleaves its own battery draw, or the batch interval is too coarse
+// for the no-clamp argument). The horizon is monotone: after settling j
+// batches with no external mutation, the new horizon is at least the
+// old one minus j — minus at most one further batch of slack for the
+// sub-µJ carry drift of the caller's interleaved drain.
+func (g *Graph) HorizonBatches(dt units.Time, extraBatteryDrain units.Power) int64 {
+	return g.planSettle(dt, extraBatteryDrain)
+}
+
+// FlowWalks returns the number of batches the graph executed as
+// per-batch tap walks: full Flow calls (the kernel's flow task, or
+// settlement's outside-horizon fallback) plus batches whose sensitive
+// subset was replayed in sequence order inside a settled chunk. A
+// change that flips taps from telescoped to replayed — a new
+// proportional tap marking a shared reserve sensitive — shows up here.
+func (g *Graph) FlowWalks() int64 { return g.flowWalks }
+
+// SettledBatches returns the number of batches advanced by closed-form
+// settlement chunks. A batch settled in a chunk that also replayed
+// sensitive taps counts in both SettledBatches and FlowWalks.
+func (g *Graph) SettledBatches() int64 { return g.settledBatches }
+
+// ReserveTapped reports whether any active tap has r as an endpoint.
+// The kernel uses it to refuse closed-form device settlement when a
+// device's private billing reserve participates in flows (settlement
+// reorders device billing against tap batches, which is only exact when
+// the two touch disjoint reserves apart from the clamp-guarded battery).
+func (g *Graph) ReserveTapped(r *Reserve) bool {
+	for _, t := range g.active {
+		if t.src == r || t.sink == r {
+			return true
+		}
+	}
+	return false
+}
+
+// SettleFlows advances the graph through n consecutive Flow(dt) batches,
+// byte-identical to n sequential Flow calls with no interleaved graph
+// mutation. Batches inside the depletion horizon settle in closed form
+// (telescoped constant taps, sequence-ordered replay of sensitive taps);
+// batches outside it fall back to exact per-batch walks. After each
+// settled chunk of k batches, interleave(k) — if non-nil — is invoked so
+// the caller can apply its own per-batch accounting (baseline billing)
+// at matching granularity; extraBatteryDrain must bound that accounting's
+// per-batch battery draw so the horizon covers it.
+func (g *Graph) SettleFlows(dt units.Time, n int64, extraBatteryDrain units.Power, interleave func(batches int64)) {
+	for n > 0 {
+		k := g.settleChunk(dt, n, extraBatteryDrain)
+		if k == 0 {
+			g.Flow(dt)
+			k = 1
+		}
+		if interleave != nil {
+			interleave(k)
+		}
+		n -= k
+	}
+}
+
+// planSettle partitions the active set for one settlement chunk and
+// returns the depletion horizon. It fills g.settleTelescope (constant
+// taps whose endpoints are level-trajectory-independent), g.settleReplay
+// (proportional taps plus any tap touching a sensitive reserve, in
+// creation order) and g.settleSrcs (reserves with per-batch outflow,
+// carrying worst-case drain sums).
+func (g *Graph) planSettle(dt units.Time, extra units.Power) int64 {
+	if dt <= 0 {
+		return 0
+	}
+	if g.flowHook != nil {
+		// The test seam observes every per-batch visit; settlement would
+		// skip it.
+		return 0
+	}
+	g.settleEpoch++
+	epoch := g.settleEpoch
+	hasProp := false
+	for _, t := range g.active {
+		if t.kind == TapProportional {
+			hasProp = true
+			t.src.sensitiveMark = epoch
+		}
+	}
+	if hasProp && dt > units.Second {
+		// For dt ≤ 1 s a proportional tap can never overdraw its source
+		// (want ≤ level × dt/1s); coarser batches void that argument.
+		return 0
+	}
+	if extra > 0 && g.battery.sensitiveMark == epoch {
+		// A proportional tap reads the battery level every batch while
+		// the caller's interleaved drain changes it between batches: the
+		// two no longer commute.
+		return 0
+	}
+
+	g.settleTelescope = g.settleTelescope[:0]
+	g.settleReplay = g.settleReplay[:0]
+	g.settleSrcs = g.settleSrcs[:0]
+	addDrain := func(r *Reserve, perBatchScaled, carry int64) {
+		if r.settleMark != epoch {
+			r.settleMark = epoch
+			r.settleDrain = 0
+			r.settleCarry = 0
+			g.settleSrcs = append(g.settleSrcs, r)
+		}
+		// Saturating add: several near-cap rates on one source must not
+		// wrap the drain sum negative (the horizon loop treats a
+		// saturated drain as "replay only").
+		if r.settleDrain > horizonCap-perBatchScaled {
+			r.settleDrain = horizonCap
+		} else {
+			r.settleDrain += perBatchScaled
+		}
+		r.settleCarry += carry
+	}
+	for _, t := range g.active {
+		if t.kind == TapProportional {
+			g.settleReplay = append(g.settleReplay, t)
+			continue
+		}
+		if int64(t.rate) > horizonCap/int64(dt) {
+			return 0 // pathological rate: per-batch arithmetic only
+		}
+		// Sensitive reserves need no depletion bound: every tap touching
+		// them is replayed batch by batch in sequence order, so their
+		// whole trajectory — clamping included — is exact by
+		// construction. (The battery is the one exception, handled by
+		// the extra-drain rejection above.)
+		if t.src.sensitiveMark != epoch {
+			addDrain(t.src, int64(t.rate)*int64(dt), t.carry)
+		}
+		if t.src.sensitiveMark == epoch || t.sink.sensitiveMark == epoch {
+			g.settleReplay = append(g.settleReplay, t)
+		} else {
+			g.settleTelescope = append(g.settleTelescope, t)
+		}
+	}
+	if extra > 0 {
+		if int64(extra) > horizonCap/int64(dt) {
+			return 0
+		}
+		// The caller's own carry is invisible here; budget a full one.
+		addDrain(g.battery, int64(extra)*int64(dt), 999)
+	}
+
+	horizon := int64(horizonCap)
+	for _, r := range g.settleSrcs {
+		if r.settleDrain <= 0 {
+			continue
+		}
+		if r.settleDrain >= horizonCap {
+			return 0 // saturated drain sum: per-batch arithmetic only
+		}
+		// Worst-case outflow over k batches, in µJ·10⁻³: k × Σ(rate·dt)
+		// plus each draining tap's current carry (the exact telescoped
+		// bound: Σ ⌊(rate·dt·k + carry)/1000⌋ ≤ (k·Σrate·dt + Σcarry)/1000).
+		// Using the live carries instead of a fixed per-tap slack makes
+		// the horizon exactly monotone under settlement.
+		avail := int64(r.level)
+		if avail <= 0 {
+			return 0
+		}
+		if avail > horizonCap/1000 {
+			avail = horizonCap
+		} else {
+			avail *= 1000
+		}
+		avail -= r.settleCarry
+		if avail < r.settleDrain {
+			return 0
+		}
+		if k := avail / r.settleDrain; k < horizon {
+			horizon = k
+		}
+	}
+	return horizon
+}
+
+// settleChunk settles up to n batches in closed form, returning how many
+// it advanced (0 when the horizon demands an exact per-batch walk). The
+// chunk is exact: within the horizon no tap can clamp, so the telescoped
+// constant taps commute with the sequence-ordered replay of the
+// sensitive set.
+func (g *Graph) settleChunk(dt units.Time, n int64, extra units.Power) int64 {
+	k := g.planSettle(dt, extra)
+	if k <= 0 {
+		return 0
+	}
+	if k > n {
+		k = n
+	}
+	for _, t := range g.settleTelescope {
+		total := int64(t.rate)*int64(dt)*k + t.carry
+		moved := units.Energy(total / 1000)
+		t.carry = total % 1000
+		if moved > 0 {
+			t.src.debit(moved)
+			t.sink.credit(moved)
+			t.stats.Moved += moved
+		}
+	}
+	if len(g.settleReplay) > 0 {
+		for i := int64(0); i < k; i++ {
+			for _, t := range g.settleReplay {
+				t.flow(dt)
+			}
+		}
+		g.flowWalks += k
+	}
+	g.settledBatches += k
+	return k
+}

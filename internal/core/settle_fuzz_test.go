@@ -1,0 +1,209 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/kobj"
+	"repro/internal/label"
+	"repro/internal/units"
+)
+
+// FuzzSettle interprets the fuzz input as a little program over a random
+// graph of constant/proportional taps and reserves — create, rewire,
+// mutate rates, transfer, release — executed in lockstep on a per-batch
+// oracle and a closed-form-settled subject. After every advance it
+// asserts:
+//
+//   - byte-identical state (levels, carries, stats) between the two;
+//   - exact energy conservation on both
+//     (battery + Σ reserves + consumed == capacity);
+//   - no reserve overshoots past zero (no fuzz reserve allows debt);
+//   - horizon monotonicity: settling j batches shrinks the reported
+//     depletion horizon by at most j.
+func FuzzSettle(f *testing.F) {
+	f.Add([]byte{0, 10, 0, 1, 0x20, 3, 5, 50, 2, 1, 0x10, 5, 20})
+	f.Add([]byte{0, 255, 255, 1, 0xFF, 200, 5, 10, 0, 1, 1, 2, 0x01, 100, 5, 200, 5, 255})
+	f.Add([]byte{6, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const battery = units.Joule
+		const dt = settleDT
+		build := func() (*Graph, *kobj.Container) { return newSettleGraph(battery) }
+		og, oroot := build()
+		sg, sroot := build()
+		obill := &baselineBiller{g: og, power: units.Milliwatts(699)}
+		sbill := &baselineBiller{g: sg, power: units.Milliwatts(699)}
+
+		var ores, sres []*Reserve
+		var otaps, staps []*Tap
+		ores = append(ores, og.Battery())
+		sres = append(sres, sg.Battery())
+
+		next := func(i *int) (byte, bool) {
+			if *i >= len(data) {
+				return 0, false
+			}
+			b := data[*i]
+			*i++
+			return b, true
+		}
+		next16 := func(i *int) (uint16, bool) {
+			if *i+1 >= len(data) {
+				return 0, false
+			}
+			v := binary.LittleEndian.Uint16(data[*i:])
+			*i += 2
+			return v, true
+		}
+
+		check := func(tag string) {
+			t.Helper()
+			os, ss := graphState(og), graphState(sg)
+			if os != ss {
+				t.Fatalf("%s: settled state diverged from oracle:\n--- oracle ---\n%s--- settled ---\n%s", tag, os, ss)
+			}
+			for _, g := range []*Graph{og, sg} {
+				if g.ConservationError() != 0 {
+					t.Fatalf("%s: conservation violated by %v", tag, g.ConservationError())
+				}
+				for _, r := range g.reserves {
+					if r.level < 0 {
+						t.Fatalf("%s: reserve %s overshot to %d µJ", tag, r.name, r.level)
+					}
+				}
+			}
+		}
+
+		count := 0
+		for i := 0; i < len(data); {
+			op, ok := next(&i)
+			if !ok {
+				break
+			}
+			count++
+			if count > 200 {
+				break // bound runtime
+			}
+			switch op % 7 {
+			case 0: // new reserve, funded from the battery
+				amt, ok := next16(&i)
+				if !ok {
+					return
+				}
+				fund := units.Energy(amt) * 20 // up to ≈1.3 mJ... scaled below battery
+				or := og.NewReserve(oroot, "r", label.Public(), ReserveOpts{})
+				sr := sg.NewReserve(sroot, "r", label.Public(), ReserveOpts{})
+				_ = og.Transfer(label.Priv{}, og.Battery(), or, fund)
+				_ = sg.Transfer(label.Priv{}, sg.Battery(), sr, fund)
+				ores = append(ores, or)
+				sres = append(sres, sr)
+			case 1: // new constant tap
+				a, ok1 := next(&i)
+				rate, ok2 := next16(&i)
+				if !ok1 || !ok2 {
+					return
+				}
+				si := int(a) % len(ores)
+				di := int(a>>4) % len(ores)
+				if si == di || ores[si].dead || ores[di].dead || sres[si].dead || sres[di].dead {
+					continue
+				}
+				ot, err1 := og.NewTap(oroot, "t", label.Priv{}, ores[si], ores[di], label.Public())
+				st, err2 := sg.NewTap(sroot, "t", label.Priv{}, sres[si], sres[di], label.Public())
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatal("twin tap creation diverged")
+				}
+				if err1 != nil {
+					continue
+				}
+				_ = ot.SetRate(label.Priv{}, units.Power(rate)*7)
+				_ = st.SetRate(label.Priv{}, units.Power(rate)*7)
+				otaps = append(otaps, ot)
+				staps = append(staps, st)
+			case 2: // new proportional tap
+				a, ok1 := next(&i)
+				frac, ok2 := next16(&i)
+				if !ok1 || !ok2 {
+					return
+				}
+				si := int(a) % len(ores)
+				di := int(a>>4) % len(ores)
+				if si == di || ores[si].dead || ores[di].dead || sres[si].dead || sres[di].dead {
+					continue
+				}
+				ot, err1 := og.NewTap(oroot, "f", label.Priv{}, ores[si], ores[di], label.Public())
+				st, err2 := sg.NewTap(sroot, "f", label.Priv{}, sres[si], sres[di], label.Public())
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatal("twin tap creation diverged")
+				}
+				if err1 != nil {
+					continue
+				}
+				ppm := PPM(frac) % 1_000_001
+				_ = ot.SetFrac(label.Priv{}, ppm)
+				_ = st.SetFrac(label.Priv{}, ppm)
+				otaps = append(otaps, ot)
+				staps = append(staps, st)
+			case 3: // mutate a tap's rate or fraction
+				a, ok1 := next(&i)
+				v, ok2 := next16(&i)
+				if !ok1 || !ok2 || len(otaps) == 0 {
+					continue
+				}
+				ti := int(a) % len(otaps)
+				if a&0x80 != 0 {
+					ppm := PPM(v) % 1_000_001
+					_ = otaps[ti].SetFrac(label.Priv{}, ppm)
+					_ = staps[ti].SetFrac(label.Priv{}, ppm)
+				} else {
+					_ = otaps[ti].SetRate(label.Priv{}, units.Power(v)*3)
+					_ = staps[ti].SetRate(label.Priv{}, units.Power(v)*3)
+				}
+			case 4: // release a tap
+				a, ok1 := next(&i)
+				if !ok1 || len(otaps) == 0 {
+					continue
+				}
+				ti := int(a) % len(otaps)
+				_ = og.Table().Delete(otaps[ti].ObjectID())
+				_ = sg.Table().Delete(staps[ti].ObjectID())
+			case 5: // transfer between reserves
+				a, ok1 := next(&i)
+				amt, ok2 := next16(&i)
+				if !ok1 || !ok2 {
+					return
+				}
+				si := int(a) % len(ores)
+				di := int(a>>4) % len(ores)
+				if si == di || ores[si].dead || ores[di].dead || sres[si].dead || sres[di].dead {
+					continue
+				}
+				_, _ = og.TransferUpTo(label.Priv{}, ores[si], ores[di], units.Energy(amt))
+				_, _ = sg.TransferUpTo(label.Priv{}, sres[si], sres[di], units.Energy(amt))
+			case 6: // advance n batches, checking horizon monotonicity
+				a, ok1 := next(&i)
+				if !ok1 {
+					return
+				}
+				n := int64(a%64) + 1
+				extra := units.Milliwatts(699)
+				h0 := sg.HorizonBatches(dt, extra)
+				for j := int64(0); j < n; j++ {
+					og.Flow(dt)
+					obill.bill(1)
+				}
+				sg.SettleFlows(dt, n, extra, sbill.bill)
+				h1 := sg.HorizonBatches(dt, extra)
+				// Monotone up to one batch of slack for the interleaved
+				// drain's sub-µJ carry (see HorizonBatches).
+				if h0 > 0 && h1 < h0-n-1 {
+					t.Fatalf("horizon not monotone: settled %d batches, horizon fell %d → %d", n, h0, h1)
+				}
+				check("after advance")
+			}
+		}
+		// Final state must agree even if the program ended mid-op.
+		check("final")
+	})
+}

@@ -1,43 +1,208 @@
 package experiments
 
 import (
+	"bytes"
+	"fmt"
 	"reflect"
 	"testing"
 
+	"repro/internal/fleet"
+	"repro/internal/kernel"
 	"repro/internal/sim"
+	"repro/internal/units"
 )
 
-// TestEngineEquivalence is the differential test behind the next-event
-// engine: every registered experiment must produce a byte-identical
-// Result whether the clock is advanced tick by tick or jumped between
-// due instants. Series contents, tables, headlines and check outcomes
-// are all compared structurally and as formatted text.
+// engineConfigs are the three advancement strategies every experiment
+// must agree under: the original tick-by-tick engine, next-event
+// advancement with per-batch tap flows (PR 1), and next-event
+// advancement with closed-form tap/device settlement (the busy fast
+// path). The first entry is the oracle.
+var engineConfigs = []struct {
+	name   string
+	mode   sim.Mode
+	settle kernel.SettleMode
+}{
+	{"fixed-tick", sim.ModeFixedTick, kernel.SettlePerBatch},
+	{"next-event-per-batch", sim.ModeNextEvent, kernel.SettlePerBatch},
+	{"next-event-closed-form", sim.ModeNextEvent, kernel.SettleClosedForm},
+}
+
+func setEngineConfig(mode sim.Mode, settle kernel.SettleMode) {
+	sim.SetDefaultMode(mode)
+	kernel.SetDefaultSettleMode(settle)
+}
+
+func resetEngineConfig() {
+	sim.SetDefaultMode(sim.ModeNextEvent)
+	kernel.SetDefaultSettleMode(kernel.SettleClosedForm)
+}
+
+// TestEngineEquivalence is the three-way differential test behind the
+// next-event engine and closed-form settlement: every paper-registry
+// experiment must produce a byte-identical Result under all three
+// advancement strategies. Series contents, tables, headlines and check
+// outcomes are all compared structurally and as formatted text.
 func TestEngineEquivalence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	defer sim.SetDefaultMode(sim.ModeNextEvent)
+	defer resetEngineConfig()
 
 	for _, name := range Names() {
 		name := name
 		t.Run(name, func(t *testing.T) {
-			sim.SetDefaultMode(sim.ModeFixedTick)
-			fixed, err := Run(name)
-			if err != nil {
-				t.Fatal(err)
-			}
-			sim.SetDefaultMode(sim.ModeNextEvent)
-			next, err := Run(name)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !reflect.DeepEqual(fixed, next) {
-				t.Errorf("results diverge between engine modes")
-			}
-			ff, nf := fixed.Format(true), next.Format(true)
-			if ff != nf {
-				t.Errorf("formatted output diverges:\n--- fixed-tick ---\n%s\n--- next-event ---\n%s", ff, nf)
+			var oracle Result
+			var oracleText string
+			for i, c := range engineConfigs {
+				setEngineConfig(c.mode, c.settle)
+				got, err := Run(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				text := got.Format(true)
+				if i == 0 {
+					oracle, oracleText = got, text
+					continue
+				}
+				if !reflect.DeepEqual(oracle, got) {
+					t.Errorf("results diverge: %s vs %s", engineConfigs[0].name, c.name)
+				}
+				if text != oracleText {
+					t.Errorf("formatted output diverges under %s:\n--- %s ---\n%s\n--- %s ---\n%s",
+						c.name, engineConfigs[0].name, oracleText, c.name, text)
+				}
 			}
 		})
 	}
+}
+
+// extendedEquivalence maps each extended-registry experiment to a
+// scaled-down fleet configuration carrying its exact semantics (the
+// extended experiments are fleet wrappers; their Results embed
+// engine-level diagnostics — executed instants — that legitimately
+// differ across engines, so equivalence is asserted on the fleet
+// report's canonical JSON instead, which carries every energy,
+// lifetime and workload quantity). A missing entry fails the test:
+// adding an extended experiment requires adding its differential
+// harness.
+var extendedEquivalence = map[string]fleet.Config{
+	"dayinthelife": {
+		Devices:  6,
+		Seed:     3,
+		Duration: 45 * units.Minute,
+		Workers:  2,
+		Scenario: fleet.DayInTheLife(),
+	},
+}
+
+// TestExtendedEngineEquivalence runs every extended-registry experiment's
+// fleet semantics under all three advancement strategies and asserts the
+// canonical reports are byte-identical. A busier synthetic mix (every
+// workload primitive compressed into 20 minutes) rides along so call,
+// SMS, browse and poller phases all cross the settled busy path at
+// differential fidelity.
+func TestExtendedEngineEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	defer resetEngineConfig()
+
+	cases := make(map[string]fleet.Config, len(extendedEquivalence)+1)
+	for _, name := range ExtendedNames() {
+		cfg, ok := extendedEquivalence[name]
+		if !ok {
+			t.Fatalf("extended experiment %q has no differential harness: add a scaled fleet config to extendedEquivalence", name)
+		}
+		cases[name] = cfg
+	}
+	cases["dense-mix"] = fleet.Config{
+		Devices:  4,
+		Seed:     9,
+		Duration: 20 * units.Minute,
+		Workers:  2,
+		Scenario: denseMix(),
+	}
+
+	for name, cfg := range cases {
+		name, cfg := name, cfg
+		t.Run(name, func(t *testing.T) {
+			var oracle []byte
+			for i, c := range engineConfigs {
+				run := cfg
+				run.EngineMode = c.mode
+				run.Settle = c.settle
+				setEngineConfig(c.mode, c.settle)
+				rep, err := fleet.Run(run)
+				if err != nil {
+					t.Fatal(err)
+				}
+				js, err := rep.CanonicalJSON(true)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if i == 0 {
+					oracle = js
+					continue
+				}
+				if !bytes.Equal(oracle, js) {
+					t.Errorf("canonical fleet report diverges: %s vs %s\n%s",
+						engineConfigs[0].name, c.name, firstDiff(oracle, js))
+				}
+			}
+		})
+	}
+}
+
+// denseMix compresses every workload primitive into a 20-minute day so
+// the differential test crosses calls, SMS bursts, browsing, pollers and
+// screen sessions without simulating hours tick by tick.
+func denseMix() fleet.Scenario {
+	busy := fleet.Compose{
+		Label: "busy",
+		Phases: []fleet.Phase{
+			{Workload: fleet.Screen{}, Start: 0, Duration: 4 * units.Minute, Jitter: units.Minute},
+			{Workload: fleet.Pollers{Interval: units.Minute}, Start: 2 * units.Minute, Duration: 8 * units.Minute, Jitter: units.Minute},
+			{Workload: fleet.Browse{Pages: 3}, Start: 5 * units.Minute, Duration: 4 * units.Minute, Jitter: units.Minute},
+			{Workload: fleet.Call{CallTime: units.Minute}, Start: 11 * units.Minute, Duration: 2 * units.Minute, Jitter: units.Minute},
+			{Workload: fleet.SMSBurst{Count: 2, Interval: 20 * units.Second}, Start: 15 * units.Minute, Duration: 3 * units.Minute, Jitter: units.Minute},
+		},
+	}
+	quiet := fleet.Compose{
+		Label: "quiet",
+		Phases: []fleet.Phase{
+			{Workload: fleet.Screen{}, Start: 3 * units.Minute, Duration: 2 * units.Minute, Jitter: units.Minute},
+		},
+	}
+	return fleet.Mix{
+		Label: "dense-mix",
+		Entries: []fleet.MixEntry{
+			{Weight: 3, Scenario: busy},
+			{Weight: 1, Scenario: quiet},
+		},
+	}
+}
+
+// firstDiff renders the first divergent region of two byte slices.
+func firstDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 120
+			if lo < 0 {
+				lo = 0
+			}
+			hiA, hiB := i+120, i+120
+			if hiA > len(a) {
+				hiA = len(a)
+			}
+			if hiB > len(b) {
+				hiB = len(b)
+			}
+			return fmt.Sprintf("first divergence at byte %d:\n  oracle: …%s…\n  got:    …%s…", i, a[lo:hiA], b[lo:hiB])
+		}
+	}
+	return fmt.Sprintf("length differs: %d vs %d bytes", len(a), len(b))
 }

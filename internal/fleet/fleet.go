@@ -114,6 +114,12 @@ type DeviceResult struct {
 	// engine actually executed — the quiescence fast path shows up as
 	// EngineSteps ≪ simulated ticks.
 	EngineSteps uint64
+	// FlowWalks counts per-batch tap walks the device's graph performed;
+	// SettledBatches counts batches advanced by closed-form settlement
+	// instead. Their ratio is the busy-path fast-path engagement measure
+	// (engine-level diagnostics, excluded from CanonicalJSON).
+	FlowWalks      int64
+	SettledBatches int64
 }
 
 // Scenario builds a workload onto a device. Implementations must be
@@ -144,6 +150,10 @@ type Config struct {
 	// EngineMode selects the time-advancement strategy (default
 	// next-event; the fixed-tick compat mode exists for A/B timing).
 	EngineMode sim.Mode
+	// Settle selects the busy-path strategy (default closed-form
+	// settlement; the per-batch compat mode exists for A/B timing and
+	// differential tests).
+	Settle kernel.SettleMode
 }
 
 // Report is the deterministic aggregate of a fleet run.
@@ -171,6 +181,14 @@ type Report struct {
 	Dead    int
 	LifeP50 units.Time
 	LifeP90 units.Time
+
+	// Engine-level diagnostics (excluded from CanonicalJSON): executed
+	// instants, per-batch flow walks and closed-form-settled batches
+	// summed over the fleet. CI diffs these across worker counts and
+	// watches them for busy-path perf regressions.
+	TotalEngineSteps    uint64
+	TotalFlowWalks      int64
+	TotalSettledBatches int64
 
 	// Buckets break the fleet down per scenario bucket, sorted by
 	// name. Single-scenario runs have exactly one bucket; Mix fleets
@@ -200,8 +218,11 @@ type Bucket struct {
 
 	// MeanSteps is the mean executed-instant count per device — the
 	// per-bucket measure of how deeply the quiescence fast path was
-	// engaged.
-	MeanSteps uint64
+	// engaged. MeanFlowWalks and MeanSettledBatches split the bucket's
+	// tap batches into per-batch walks vs closed-form settlement.
+	MeanSteps          uint64
+	MeanFlowWalks      int64
+	MeanSettledBatches int64
 
 	Dead    int
 	LifeP50 units.Time
@@ -267,6 +288,10 @@ type reportJSON struct {
 	LifeP50MS int64 `json:"life_p50_ms"`
 	LifeP90MS int64 `json:"life_p90_ms"`
 
+	EngineSteps    uint64 `json:"engine_steps"`
+	FlowWalks      int64  `json:"flow_walks"`
+	SettledBatches int64  `json:"settled_batches"`
+
 	Buckets []bucketJSON `json:"buckets"`
 	Results []deviceJSON `json:"results,omitempty"`
 }
@@ -284,32 +309,49 @@ type bucketJSON struct {
 	SMSSent         int64   `json:"sms_sent"`
 	Calls           int64   `json:"calls_placed"`
 	MeanSteps       uint64  `json:"mean_engine_steps"`
+	MeanFlowWalks   int64   `json:"mean_flow_walks"`
+	MeanSettled     int64   `json:"mean_settled_batches"`
 	Dead            int     `json:"dead"`
 	LifeP50MS       int64   `json:"life_p50_ms"`
 	LifeP90MS       int64   `json:"life_p90_ms"`
 }
 
 type deviceJSON struct {
-	Index         int     `json:"index"`
-	Seed          int64   `json:"seed"`
-	Scenario      string  `json:"scenario"`
-	ConsumedUJ    int64   `json:"consumed_uj"`
-	BatteryLeftUJ int64   `json:"battery_left_uj"`
-	Died          bool    `json:"died"`
-	DiedAtMS      int64   `json:"died_at_ms,omitempty"`
-	Utilization   float64 `json:"utilization_pct"`
-	Activations   int64   `json:"radio_activations"`
-	Polls         int64   `json:"polls"`
-	Pages         int64   `json:"pages"`
-	PowerUps      int64   `json:"netd_power_ups"`
-	SMSSent       int64   `json:"sms_sent"`
-	Calls         int64   `json:"calls_placed"`
-	EngineSteps   uint64  `json:"engine_steps"`
+	Index          int     `json:"index"`
+	Seed           int64   `json:"seed"`
+	Scenario       string  `json:"scenario"`
+	ConsumedUJ     int64   `json:"consumed_uj"`
+	BatteryLeftUJ  int64   `json:"battery_left_uj"`
+	Died           bool    `json:"died"`
+	DiedAtMS       int64   `json:"died_at_ms,omitempty"`
+	Utilization    float64 `json:"utilization_pct"`
+	Activations    int64   `json:"radio_activations"`
+	Polls          int64   `json:"polls"`
+	Pages          int64   `json:"pages"`
+	PowerUps       int64   `json:"netd_power_ups"`
+	SMSSent        int64   `json:"sms_sent"`
+	Calls          int64   `json:"calls_placed"`
+	EngineSteps    uint64  `json:"engine_steps"`
+	FlowWalks      int64   `json:"flow_walks"`
+	SettledBatches int64   `json:"settled_batches"`
 }
 
 // JSON renders the report as deterministic, worker-count-independent
 // indented JSON. perDevice includes the per-device result array.
 func (r Report) JSON(perDevice bool) ([]byte, error) {
+	return r.marshalJSON(perDevice, false)
+}
+
+// CanonicalJSON renders the report with every engine-level diagnostic
+// (executed instants, flow walks, settled batches) zeroed: the bytes
+// that must be identical across engine and settlement modes, which the
+// differential tests assert. Everything energy- or workload-shaped —
+// consumption, lifetimes, utilization, polls, pages, SMS, calls — stays.
+func (r Report) CanonicalJSON(perDevice bool) ([]byte, error) {
+	return r.marshalJSON(perDevice, true)
+}
+
+func (r Report) marshalJSON(perDevice, canonical bool) ([]byte, error) {
 	out := reportJSON{
 		Scenario:        r.Scenario,
 		Devices:         r.Devices,
@@ -327,8 +369,13 @@ func (r Report) JSON(perDevice bool) ([]byte, error) {
 		LifeP50MS:       int64(r.LifeP50),
 		LifeP90MS:       int64(r.LifeP90),
 	}
+	if !canonical {
+		out.EngineSteps = r.TotalEngineSteps
+		out.FlowWalks = r.TotalFlowWalks
+		out.SettledBatches = r.TotalSettledBatches
+	}
 	for _, b := range r.Buckets {
-		out.Buckets = append(out.Buckets, bucketJSON{
+		bj := bucketJSON{
 			Name:            b.Name,
 			Devices:         b.Devices,
 			TotalConsumedUJ: int64(b.TotalConsumed),
@@ -340,15 +387,20 @@ func (r Report) JSON(perDevice bool) ([]byte, error) {
 			PowerUps:        b.PowerUps,
 			SMSSent:         b.SMSSent,
 			Calls:           b.Calls,
-			MeanSteps:       b.MeanSteps,
 			Dead:            b.Dead,
 			LifeP50MS:       int64(b.LifeP50),
 			LifeP90MS:       int64(b.LifeP90),
-		})
+		}
+		if !canonical {
+			bj.MeanSteps = b.MeanSteps
+			bj.MeanFlowWalks = b.MeanFlowWalks
+			bj.MeanSettled = b.MeanSettledBatches
+		}
+		out.Buckets = append(out.Buckets, bj)
 	}
 	if perDevice {
 		for _, d := range r.Results {
-			out.Results = append(out.Results, deviceJSON{
+			dj := deviceJSON{
 				Index:         d.Index,
 				Seed:          d.Seed,
 				Scenario:      d.Scenario,
@@ -363,8 +415,13 @@ func (r Report) JSON(perDevice bool) ([]byte, error) {
 				PowerUps:      d.PowerUps,
 				SMSSent:       d.SMSSent,
 				Calls:         d.CallsPlaced,
-				EngineSteps:   d.EngineSteps,
-			})
+			}
+			if !canonical {
+				dj.EngineSteps = d.EngineSteps
+				dj.FlowWalks = d.FlowWalks
+				dj.SettledBatches = d.SettledBatches
+			}
+			out.Results = append(out.Results, dj)
 		}
 	}
 	return json.MarshalIndent(out, "", "  ")
@@ -427,12 +484,13 @@ func runDevice(cfg Config, idx int) (DeviceResult, error) {
 	seed := DeriveSeed(cfg.Seed, idx)
 	mode := cfg.EngineMode
 	if mode == sim.ModeAuto {
-		mode = sim.ModeNextEvent
+		mode = sim.DefaultMode()
 	}
 	k := kernel.New(kernel.Config{
 		Seed:            seed,
 		BatteryCapacity: cfg.BatteryCapacity,
 		EngineMode:      mode,
+		Settle:          cfg.Settle,
 	})
 	r := radio.New(k.Eng, k.Graph, k.Root, k.KernelPriv(), radio.Config{Profile: k.Profile})
 	k.AddDevice(r)
@@ -472,6 +530,8 @@ func runDevice(cfg Config, idx int) (DeviceResult, error) {
 	res.RadioActivations = r.Stats().Activations
 	res.PowerUps = n.Stats().PowerUps
 	res.EngineSteps = k.Eng.Steps()
+	res.FlowWalks = k.Graph.FlowWalks()
+	res.SettledBatches = k.Graph.SettledBatches()
 	if d.Smdd != nil {
 		s := d.Smdd.Stats()
 		res.SMSSent = s.SMSSent
@@ -508,6 +568,9 @@ func aggregate(cfg Config, workers int, results []DeviceResult) Report {
 		rep.TotalPolls += r.Polls
 		rep.TotalActivations += r.RadioActivations
 		rep.TotalPowerUps += r.PowerUps
+		rep.TotalEngineSteps += r.EngineSteps
+		rep.TotalFlowWalks += r.FlowWalks
+		rep.TotalSettledBatches += r.SettledBatches
 		if r.Died {
 			rep.Dead++
 			lives = append(lives, r.DiedAt)
@@ -550,6 +613,8 @@ func bucketize(results []DeviceResult) []Bucket {
 		// Accumulated as a total here, divided into a mean below —
 		// the same pattern as MeanUtilization.
 		b.MeanSteps += r.EngineSteps
+		b.MeanFlowWalks += r.FlowWalks
+		b.MeanSettledBatches += r.SettledBatches
 		if r.Died {
 			b.Dead++
 			lives[r.Scenario] = append(lives[r.Scenario], r.DiedAt)
@@ -562,6 +627,8 @@ func bucketize(results []DeviceResult) []Bucket {
 		b.MeanConsumed = b.TotalConsumed / units.Energy(b.Devices)
 		b.MeanUtilization /= float64(b.Devices)
 		b.MeanSteps /= uint64(b.Devices)
+		b.MeanFlowWalks /= int64(b.Devices)
+		b.MeanSettledBatches /= int64(b.Devices)
 		if l := lives[n]; len(l) > 0 {
 			sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
 			b.LifeP50 = percentile(l, 50)

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 
@@ -134,10 +135,12 @@ func TestFleetModeEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// EngineSteps is the one field that legitimately differs between
-	// modes (it measures how many instants the engine visited, which is
-	// precisely what next-event advancement reduces); everything it
-	// must be *smaller* for.
+	// EngineSteps, FlowWalks and SettledBatches are the fields that
+	// legitimately differ between modes (they measure how many instants
+	// the engine visited and how flow batches were advanced — precisely
+	// what next-event advancement and closed-form settlement reduce);
+	// instants must be *fewer* under next-event, and everything else
+	// identical.
 	for i := range a.Results {
 		if b.Results[i].EngineSteps < a.Results[i].EngineSteps {
 			t.Fatalf("device %d: next-event executed more instants (%d) than fixed-tick (%d)",
@@ -145,9 +148,26 @@ func TestFleetModeEquivalence(t *testing.T) {
 		}
 		a.Results[i].EngineSteps = 0
 		b.Results[i].EngineSteps = 0
+		a.Results[i].FlowWalks = 0
+		b.Results[i].FlowWalks = 0
+		a.Results[i].SettledBatches = 0
+		b.Results[i].SettledBatches = 0
 	}
 	if !reflect.DeepEqual(a.Results, b.Results) {
 		t.Fatalf("engine mode changed fleet results:\n%s\nvs\n%s", a.Format(), b.Format())
+	}
+	// The canonical JSON — the engine-invariant projection — must be
+	// byte-identical without any scrubbing.
+	aj, err := a.CanonicalJSON(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.CanonicalJSON(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatal("canonical JSON diverges between engine modes")
 	}
 }
 

@@ -21,6 +21,8 @@ package kernel
 
 import (
 	"fmt"
+	"math"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/kobj"
@@ -33,6 +35,59 @@ import (
 
 // DefaultTapBatch is the tap flow batching interval.
 const DefaultTapBatch = 10 * units.Millisecond
+
+// SettleMode selects how the kernel advances tap flows and device draw
+// on a next-event engine.
+type SettleMode uint8
+
+const (
+	// SettleAuto resolves to the package default (see SetDefaultSettleMode).
+	SettleAuto SettleMode = iota
+	// SettleClosedForm parks the flow/baseline/device tasks and settles
+	// the batches and ticks they skipped in closed form, lazily, before
+	// every executed instant. Byte-identical to per-batch execution; the
+	// differential tests assert it.
+	SettleClosedForm
+	// SettlePerBatch keeps the busy path on per-batch task firings (the
+	// pre-settlement behaviour). It exists for differential testing and
+	// A/B benchmarks.
+	SettlePerBatch
+)
+
+// String returns the mode name.
+func (m SettleMode) String() string {
+	switch m {
+	case SettleAuto:
+		return "auto"
+	case SettleClosedForm:
+		return "closed-form"
+	case SettlePerBatch:
+		return "per-batch"
+	default:
+		return fmt.Sprintf("settlemode(%d)", uint8(m))
+	}
+}
+
+// defaultSettleMode holds the mode SettleAuto resolves to; stored
+// atomically so concurrent kernel construction (the fleet runner) is
+// race-free.
+var defaultSettleMode atomic.Int32
+
+func init() { defaultSettleMode.Store(int32(SettleClosedForm)) }
+
+// SetDefaultSettleMode changes what SettleAuto resolves to for
+// subsequently created kernels. The three-way differential tests use it
+// to run the whole experiment registry with and without closed-form
+// settlement.
+func SetDefaultSettleMode(m SettleMode) {
+	if m == SettleAuto {
+		m = SettleClosedForm
+	}
+	defaultSettleMode.Store(int32(m))
+}
+
+// DefaultSettleMode returns the mode SettleAuto currently resolves to.
+func DefaultSettleMode() SettleMode { return SettleMode(defaultSettleMode.Load()) }
 
 // BillingMode selects how gate calls attribute resource consumption
 // (§7.1).
@@ -65,6 +120,10 @@ type Config struct {
 	// EngineMode selects the engine's time-advancement strategy;
 	// ModeAuto (the zero value) uses the sim package default.
 	EngineMode sim.Mode
+	// Settle selects the busy-path advancement strategy; SettleAuto (the
+	// zero value) uses the kernel package default. Only effective on a
+	// next-event engine.
+	Settle SettleMode
 	// StrictHoarding enables the §5.2.2 fundamental anti-hoarding rule.
 	StrictHoarding bool
 	// BacklightOn adds the backlight draw to the baseline.
@@ -91,16 +150,18 @@ type Kernel struct {
 	// can advance their state machines and bill their draw.
 	devices []Device
 
-	// Quiescence machinery (next-event engines only). When no thread is
-	// runnable, every device is quiescent and no tap carries a rate, the
-	// kernel defers its periodic tasks to the next horizon (earliest
-	// sleeping-thread wake) or parks them outright, and settles the
-	// accounting those firings would have performed in closed form:
-	// idle quanta via Sched.AddIdleTicks, baseline idle power via
-	// syncBaseline. Activity hooks (thread wake/creation, tap
-	// activation, radio wake-up) resume the tasks instantly, so the
-	// callback sequence — and therefore every experiment Result — is
-	// byte-identical to a tick-by-tick run.
+	// Quiescence and settlement machinery (next-event engines only).
+	// When no thread is runnable the scheduler task defers to the
+	// earliest sleeping-thread wake (or parks), and skipped quanta are
+	// settled as idle ticks. Under closed-form settlement (the default)
+	// the tap-flow, baseline and device tasks park outright whenever
+	// possible and everything they skipped — flow batches, baseline
+	// batches, device ticks — settles lazily via syncAt before any
+	// callback at an executed instant, in closed form inside the
+	// depletion horizon and by exact replay outside it. Activity hooks
+	// (thread wake/creation, tap activation, radio wake-up) resume the
+	// tasks instantly, so the callback sequence — and therefore every
+	// experiment Result — is byte-identical to a tick-by-tick run.
 	taskDevices  *sim.Task
 	taskSched    *sim.Task
 	taskTaps     *sim.Task
@@ -110,6 +171,16 @@ type Kernel struct {
 	// billed; lastSchedAt is the instant of the last scheduler quantum.
 	baselinePending units.Time
 	lastSchedAt     units.Time
+	// Closed-form settlement state (SettleClosedForm on a next-event
+	// engine): the flow and device tasks park outright and the work they
+	// skipped — tap batches, baseline batches, device ticks — settles
+	// lazily, in closed form where the depletion horizon allows and by
+	// exact replay where it does not, before any callback at an executed
+	// instant. tapsPending / devicesPending are the earliest tap batch
+	// boundary not yet flowed and the earliest tick not yet device-ticked.
+	lazySettle     bool
+	tapsPending    units.Time
+	devicesPending units.Time
 }
 
 // Device is a peripheral that advances once per tick.
@@ -130,6 +201,29 @@ type QuiescentDevice interface {
 // event); the kernel subscribes to resume its device task.
 type deviceActivityNotifier interface {
 	SetActivityHook(func())
+}
+
+// SettleableDevice is optionally implemented by devices whose per-tick
+// behaviour between external inputs is fully determined — constant-power
+// state spans with transitions at known instants (the radio) — and can
+// therefore be settled in closed form. While every non-quiescent device
+// is settleable, the kernel parks its device task and replays the
+// skipped ticks lazily through SettleTicks.
+type SettleableDevice interface {
+	Device
+	// SettleTicks performs exactly the DeviceTick calls the parked
+	// device task skipped: one per tick instant from `from` through `to`
+	// inclusive. No external input (Send, gate call, …) occurs inside
+	// the span — those happen at executed instants, after settlement has
+	// already caught up.
+	SettleTicks(from, to, dt units.Time)
+	// PeakDraw bounds the device's possible per-tick draw, charged
+	// against the battery's depletion horizon before a span is settled.
+	PeakDraw() units.Power
+	// SettleAccounts lists the device's private billing reserves.
+	// Settlement reorders device billing against tap flows, which is
+	// only exact while no active tap touches these.
+	SettleAccounts() []*core.Reserve
 }
 
 // New builds a kernel and registers its periodic activities on a fresh
@@ -169,13 +263,20 @@ func New(cfg Config) *Kernel {
 	})
 	k.Sched = sched.New(tbl, cfg.Profile.CPUActive)
 
+	settle := cfg.Settle
+	if settle == SettleAuto {
+		settle = DefaultSettleMode()
+	}
+	k.lazySettle = settle == SettleClosedForm && eng.Mode() == sim.ModeNextEvent
+
 	tick := eng.Tick()
 	k.tapBatch = cfg.TapBatch
 	k.taskDevices = eng.Every("kernel:devices", tick, func(e *sim.Engine) {
-		for _, d := range k.devices {
-			d.DeviceTick(e.Now(), tick)
+		k.fireDevices(e.Now())
+		if e.Mode() != sim.ModeNextEvent {
+			return
 		}
-		if e.Mode() == sim.ModeNextEvent && k.devicesQuiescent() {
+		if k.devicesQuiescent() || (k.lazySettle && k.devicesSettleable()) {
 			k.taskDevices.Park()
 		}
 	})
@@ -189,13 +290,18 @@ func New(cfg Config) *Kernel {
 		k.maybeQuiesceSched(now)
 	})
 	k.taskTaps = eng.Every("kernel:taps", cfg.TapBatch, func(e *sim.Engine) {
-		k.Graph.Flow(cfg.TapBatch)
+		k.fireTaps(e.Now())
+		if k.lazySettle {
+			k.taskTaps.Park()
+			return
+		}
 		k.maybeDeferBatchTask(e, k.taskTaps)
 	})
 	k.taskBaseline = eng.Every("kernel:baseline", cfg.TapBatch, func(e *sim.Engine) {
-		k.billBaseline(cfg.TapBatch)
-		if due := e.Now() + cfg.TapBatch; due > k.baselinePending {
-			k.baselinePending = due
+		k.fireBaseline(e.Now())
+		if k.lazySettle {
+			k.taskBaseline.Park()
+			return
 		}
 		k.maybeDeferBatchTask(e, k.taskBaseline)
 	})
@@ -205,7 +311,7 @@ func New(cfg Config) *Kernel {
 		})
 	}
 	if eng.Mode() == sim.ModeNextEvent {
-		eng.SetAdvanceHook(k.syncBaseline)
+		eng.SetAdvanceHook(k.syncAt)
 		k.Sched.SetActivityHook(k.resumeKernelTasks)
 		k.Graph.SetTapActivityHook(k.resumeKernelTasks)
 	}
@@ -274,39 +380,258 @@ func (k *Kernel) maybeDeferBatchTask(e *sim.Engine, t *sim.Task) {
 // activity hooks (thread created or woken, tap activated, radio woken)
 // and is a near-no-op when nothing is deferred. The baseline task
 // resumes at the first boundary the closed-form catch-up has not billed,
-// so no batch is ever billed twice.
+// so no batch is ever billed twice. Under lazy settlement the flow and
+// baseline tasks stay parked — their boundaries settle lazily and the
+// boundary-at-now dance in syncAt hands them back their registration
+// slot — but the device task is revived so it can re-evaluate whether
+// its settlement preconditions still hold (a freshly activated tap may
+// now touch a device's private account).
 func (k *Kernel) resumeKernelTasks() {
 	k.taskSched.Resume()
 	k.taskDevices.Resume()
-	k.taskTaps.Resume()
-	k.taskBaseline.ResumeAt(k.baselinePending)
+	if !k.lazySettle {
+		k.taskTaps.Resume()
+		k.taskBaseline.ResumeAt(k.baselinePending)
+	}
 }
 
-// syncBaseline bills, in one closed-form debit, every baseline batch
-// boundary that passed while the baseline task was deferred. It runs
-// once per executed instant (the engine's advance hook), before any
-// callback at that instant, so meters and experiments always observe
-// the battery exactly as a tick-by-tick run would have left it.
-// Boundaries at or past the task's own next firing are left to the
-// task; a boundary landing exactly on this instant is handed back to
-// the parked task too, so it bills after the instant's events in its
-// registration slot — an event at the boundary may change the baseline
-// power (SetBacklight), and the fixed-tick engine bills at the
-// post-event rate.
-func (k *Kernel) syncBaseline(now units.Time) {
-	k.syncBaselineBefore(now)
+// syncAt is the engine's advance hook: it runs once per executed
+// instant, before any callback at that instant, and settles every tap
+// batch, baseline batch and device tick that came due while the
+// corresponding tasks were parked — so meters, experiments, the
+// scheduler and netd always observe reserves exactly as a tick-by-tick
+// run would have left them. Work due strictly before the instant is
+// settled here; work due exactly at the instant is handed back to its
+// parked task, which then fires in its registration slot after the
+// instant's events — an event at the boundary may change a rate
+// (SetRate, SetBacklight, a radio Send), and the fixed-tick engine
+// performs the boundary's work at the post-event rate.
+func (k *Kernel) syncAt(now units.Time) {
+	if !k.lazySettle {
+		k.syncBaselineBefore(now)
+		if k.baselinePending == now && k.taskBaseline.NextDue() > now {
+			k.taskBaseline.ResumeAt(now)
+		}
+		return
+	}
+	k.syncPendingBefore(now)
+	if k.devicesPending == now && k.taskDevices.NextDue() > now {
+		k.taskDevices.ResumeAt(now)
+	}
+	if k.tapsPending == now && k.taskTaps.NextDue() > now {
+		k.taskTaps.ResumeAt(now)
+	}
 	if k.baselinePending == now && k.taskBaseline.NextDue() > now {
 		k.taskBaseline.ResumeAt(now)
 	}
 }
 
+// syncLimit bounds lazy settlement at `now`: work strictly before the
+// instant, and never at or past the owning task's own next firing.
+func syncLimit(now units.Time, t *sim.Task) units.Time {
+	limit := now - 1
+	if nd := t.NextDue(); nd-1 < limit {
+		limit = nd - 1
+	}
+	return limit
+}
+
+// fireDevices / fireTaps / fireBaseline perform exactly one firing's
+// worth of work at the given instant and advance the matching pending
+// cursor. They are the single definition shared by the periodic task
+// callbacks, the exact-replay fallback and the end-of-Run settlement,
+// so the three paths cannot drift apart.
+func (k *Kernel) fireDevices(now units.Time) {
+	tick := k.Eng.Tick()
+	for _, d := range k.devices {
+		d.DeviceTick(now, tick)
+	}
+	if due := now + tick; due > k.devicesPending {
+		k.devicesPending = due
+	}
+}
+
+func (k *Kernel) fireTaps(now units.Time) {
+	k.Graph.Flow(k.tapBatch)
+	if due := now + k.tapBatch; due > k.tapsPending {
+		k.tapsPending = due
+	}
+}
+
+func (k *Kernel) fireBaseline(now units.Time) {
+	k.billBaseline(k.tapBatch)
+	if due := now + k.tapBatch; due > k.baselinePending {
+		k.baselinePending = due
+	}
+}
+
+// syncPendingBefore settles every pending tap batch, baseline batch and
+// device tick strictly before now. When the depletion horizon proves no
+// reserve can clamp anywhere in the window — counting worst-case tap
+// outflow, baseline draw and peak device draw against every source, with
+// all inflows ignored — the pieces commute and each settles in closed
+// form; otherwise the window replays instant by instant in exact task
+// order (a dying battery's partial-drain sequence must match a
+// tick-by-tick run to the microjoule).
+func (k *Kernel) syncPendingBefore(now units.Time) {
+	devLimit := syncLimit(now, k.taskDevices)
+	flowLimit := syncLimit(now, k.taskTaps)
+	baseLimit := syncLimit(now, k.taskBaseline)
+	if k.devicesPending > devLimit && k.tapsPending > flowLimit && k.baselinePending > baseLimit {
+		return
+	}
+	if !k.windowSafe(devLimit, flowLimit, baseLimit) {
+		k.replayWindow(devLimit, flowLimit, baseLimit)
+		return
+	}
+	k.settleDevices(devLimit)
+	k.settleBatches(flowLimit, baseLimit)
+}
+
+// windowSafe reports whether the whole pending window is clamp-free
+// under worst-case assumptions, making device billing, tap flows and
+// baseline billing order-independent.
+func (k *Kernel) windowSafe(devLimit, flowLimit, baseLimit units.Time) bool {
+	start := units.Time(math.MaxInt64)
+	end := units.Time(0)
+	span := func(pending, limit units.Time) {
+		if pending <= limit {
+			if pending < start {
+				start = pending
+			}
+			if limit > end {
+				end = limit
+			}
+		}
+	}
+	span(k.devicesPending, devLimit)
+	span(k.tapsPending, flowLimit)
+	span(k.baselinePending, baseLimit)
+	if start > end {
+		return true // nothing pending
+	}
+	batches := int64((end-start)/k.tapBatch) + 2
+	extra := k.baselinePower() + k.devicesPeakDraw()
+	return k.Graph.HorizonBatches(k.tapBatch, extra) >= batches
+}
+
+// settleDevices advances every settleable device through the ticks the
+// parked device task skipped. Devices without closed-form settlement
+// are provably quiescent across the whole window — leaving quiescence
+// fires an activity hook, which resumes the device task and ends the
+// deferral — so their skipped ticks were no-ops.
+func (k *Kernel) settleDevices(devLimit units.Time) {
+	if k.devicesPending > devLimit {
+		return
+	}
+	tick := k.Eng.Tick()
+	for _, d := range k.devices {
+		if s, ok := d.(SettleableDevice); ok {
+			s.SettleTicks(k.devicesPending, devLimit, tick)
+		}
+	}
+	k.devicesPending = devLimit + tick
+}
+
+// settleBatches advances the tap-flow and baseline cursors through their
+// pending boundaries. The two grids coincide (same period and phase), so
+// aligned boundaries settle as interleaved chunks — the graph picks the
+// chunk size from its depletion horizon and bills the matching number of
+// baseline batches after each chunk, preserving the flow-then-baseline
+// order of every boundary.
+func (k *Kernel) settleBatches(flowLimit, baseLimit units.Time) {
+	for k.tapsPending <= flowLimit || k.baselinePending <= baseLimit {
+		ft, bt := k.tapsPending, k.baselinePending
+		flowDue, baseDue := ft <= flowLimit, bt <= baseLimit
+		switch {
+		case flowDue && baseDue && ft == bt:
+			n := int64((flowLimit-ft)/k.tapBatch) + 1
+			if nb := int64((baseLimit-bt)/k.tapBatch) + 1; nb < n {
+				n = nb
+			}
+			k.Graph.SettleFlows(k.tapBatch, n, k.baselinePower(), func(c int64) {
+				k.billBaselineBatches(c)
+			})
+			d := units.Time(n) * k.tapBatch
+			k.tapsPending += d
+			k.baselinePending += d
+		case flowDue && (!baseDue || ft < bt):
+			k.fireTaps(ft)
+		default:
+			k.fireBaseline(bt)
+		}
+	}
+}
+
+// replayWindow settles the pending window instant by instant in exact
+// task order — device ticks, then the tap batch, then the baseline batch
+// at each boundary — the fallback when a reserve could clamp inside the
+// window and ordering therefore matters.
+func (k *Kernel) replayWindow(devLimit, flowLimit, baseLimit units.Time) {
+	for {
+		t := units.Time(math.MaxInt64)
+		if k.devicesPending <= devLimit && k.devicesPending < t {
+			t = k.devicesPending
+		}
+		if k.tapsPending <= flowLimit && k.tapsPending < t {
+			t = k.tapsPending
+		}
+		if k.baselinePending <= baseLimit && k.baselinePending < t {
+			t = k.baselinePending
+		}
+		if t == units.Time(math.MaxInt64) {
+			return
+		}
+		if k.devicesPending == t && t <= devLimit {
+			k.fireDevices(t)
+		}
+		if k.tapsPending == t && t <= flowLimit {
+			k.fireTaps(t)
+		}
+		if k.baselinePending == t && t <= baseLimit {
+			k.fireBaseline(t)
+		}
+	}
+}
+
+// devicesSettleable reports whether every non-quiescent device can be
+// settled in closed form, including the account check: settlement
+// reorders device billing against tap flows, which is only exact while
+// no active tap touches a device's private reserves.
+func (k *Kernel) devicesSettleable() bool {
+	for _, d := range k.devices {
+		if q, ok := d.(QuiescentDevice); ok && q.Quiescent() {
+			continue
+		}
+		s, ok := d.(SettleableDevice)
+		if !ok {
+			return false
+		}
+		for _, r := range s.SettleAccounts() {
+			if k.Graph.ReserveTapped(r) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// devicesPeakDraw bounds the per-tick draw of every settleable device,
+// the device share of the depletion-horizon budget.
+func (k *Kernel) devicesPeakDraw() units.Power {
+	var p units.Power
+	for _, d := range k.devices {
+		if s, ok := d.(SettleableDevice); ok {
+			p += s.PeakDraw()
+		}
+	}
+	return p
+}
+
 // syncBaselineBefore bills pending boundaries strictly before now (and
 // before the task's next firing).
 func (k *Kernel) syncBaselineBefore(now units.Time) {
-	limit := now - 1
-	if nd := k.taskBaseline.NextDue(); nd-1 < limit {
-		limit = nd - 1
-	}
+	limit := syncLimit(now, k.taskBaseline)
 	if k.baselinePending > limit {
 		return
 	}
@@ -327,13 +652,28 @@ func (k *Kernel) syncBaselineThrough(now units.Time) {
 }
 
 // settle closes out lazily-deferred accounting at the end of a Run: any
-// baseline batches and idle quanta the parked tasks would have performed
-// up to the stop instant are applied in closed form, so callers reading
-// Consumed or Utilization between Runs see exactly what a tick-by-tick
-// engine would have produced.
+// tap batches, baseline batches, device ticks and idle quanta the parked
+// tasks would have performed up to the stop instant are applied in
+// closed form, so callers reading Consumed or Utilization between Runs
+// see exactly what a tick-by-tick engine would have produced. Work due
+// exactly at the stop instant is performed in task order (devices, taps,
+// baseline) if the owning task did not itself fire there.
 func (k *Kernel) settle() {
 	now := k.Eng.Now()
-	k.syncBaselineThrough(now)
+	if k.lazySettle {
+		k.syncPendingBefore(now)
+		if k.devicesPending == now && k.taskDevices.NextDue() > now {
+			k.fireDevices(now)
+		}
+		if k.tapsPending == now && k.taskTaps.NextDue() > now {
+			k.fireTaps(now)
+		}
+		if k.baselinePending == now && k.taskBaseline.NextDue() > now {
+			k.fireBaseline(now)
+		}
+	} else {
+		k.syncBaselineThrough(now)
+	}
 	if n := int64((now - k.lastSchedAt) / k.Eng.Tick()); n > 0 {
 		k.Sched.AddIdleTicks(n)
 		k.lastSchedAt = now
@@ -391,9 +731,9 @@ func (k *Kernel) baselinePower() units.Power {
 }
 
 // SetBacklight toggles the backlight contribution to baseline draw. Any
-// lazily-deferred baseline batches are settled at the old power first.
+// lazily-deferred batches are settled at the old power first.
 func (k *Kernel) SetBacklight(on bool) {
-	k.syncBaseline(k.Eng.Now())
+	k.syncAt(k.Eng.Now())
 	k.backlight = on
 }
 

@@ -45,11 +45,22 @@ const (
 // label.
 const DefaultLevel = Level1
 
+// entry is one per-category exception in a label, kept in a slice sorted
+// by category. Labels are tiny (0–2 exceptions in practice) and their
+// checks run on every reserve operation — the flat sorted representation
+// makes CanObserve/CanModify allocation-free linear scans instead of
+// (randomized) map iterations, which profiling showed dominating the
+// busy-path Consume cost.
+type entry struct {
+	c  Category
+	lv Level
+}
+
 // Label is an immutable mapping from categories to levels plus a default.
 // The zero value is the "public" label: default Level1, no exceptions.
 type Label struct {
 	def     Level
-	entries map[Category]Level
+	entries []entry // sorted by category; never contains lv == def
 }
 
 // New returns a label with the given default level and per-category
@@ -59,23 +70,18 @@ func New(def Level, entries map[Category]Level) Label {
 	if def == Star {
 		panic("label: Star is not a valid default level")
 	}
-	var m map[Category]Level
-	if len(entries) > 0 {
-		m = make(map[Category]Level, len(entries))
-		for c, l := range entries {
-			if l == Star {
-				panic("label: Star is not a valid object level")
-			}
-			if l == def {
-				continue // normalize: drop redundant entries
-			}
-			m[c] = l
+	var es []entry
+	for c, l := range entries {
+		if l == Star {
+			panic("label: Star is not a valid object level")
 		}
-		if len(m) == 0 {
-			m = nil
+		if l == def {
+			continue // normalize: drop redundant entries
 		}
+		es = append(es, entry{c, l})
 	}
-	return Label{def: def, entries: m}
+	sort.Slice(es, func(i, j int) bool { return es[i].c < es[j].c })
+	return Label{def: def, entries: es}
 }
 
 // Public returns the default label carried by unrestricted objects.
@@ -86,29 +92,46 @@ func (l Label) Default() Level { return l.def }
 
 // Level returns the level for category c.
 func (l Label) Level(c Category) Level {
-	if lv, ok := l.entries[c]; ok {
-		return lv
+	for _, e := range l.entries {
+		if e.c == c {
+			return e.lv
+		}
 	}
 	return l.def
 }
 
 // With returns a copy of the label with category c set to level lv.
 func (l Label) With(c Category, lv Level) Label {
-	m := make(map[Category]Level, len(l.entries)+1)
-	for k, v := range l.entries {
-		m[k] = v
+	if lv == Star {
+		panic("label: Star is not a valid object level")
 	}
-	m[c] = lv
-	return New(l.def, m)
+	es := make([]entry, 0, len(l.entries)+1)
+	inserted := false
+	for _, e := range l.entries {
+		if e.c == c {
+			continue
+		}
+		if !inserted && c < e.c && lv != l.def {
+			es = append(es, entry{c, lv})
+			inserted = true
+		}
+		es = append(es, e)
+	}
+	if !inserted && lv != l.def {
+		es = append(es, entry{c, lv})
+	}
+	if len(es) == 0 {
+		es = nil // normalize: an exception-free label is always the nil form
+	}
+	return Label{def: l.def, entries: es}
 }
 
 // Categories returns the categories with non-default levels, sorted.
 func (l Label) Categories() []Category {
 	cs := make([]Category, 0, len(l.entries))
-	for c := range l.entries {
-		cs = append(cs, c)
+	for _, e := range l.entries {
+		cs = append(cs, e.c)
 	}
-	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
 	return cs
 }
 
@@ -118,9 +141,8 @@ func (l Label) Equal(o Label) bool {
 	if l.def != o.def || len(l.entries) != len(o.entries) {
 		return false
 	}
-	for c, lv := range l.entries {
-		olv, ok := o.entries[c]
-		if !ok || olv != lv {
+	for i, e := range l.entries {
+		if o.entries[i] != e {
 			return false
 		}
 	}
@@ -131,8 +153,8 @@ func (l Label) Equal(o Label) bool {
 func (l Label) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "{%d", l.def)
-	for _, c := range l.Categories() {
-		fmt.Fprintf(&b, ", c%d=%d", c, l.entries[c])
+	for _, e := range l.entries {
+		fmt.Fprintf(&b, ", c%d=%d", e.c, e.lv)
 	}
 	b.WriteString("}")
 	return b.String()
@@ -248,11 +270,11 @@ func (p Priv) CanObserve(l Label) bool {
 		// cannot own, so an unobservable default is disqualifying.
 		return false
 	}
-	for c, lv := range l.entries {
-		if p.Owns(c) {
+	for _, e := range l.entries {
+		if p.Owns(e.c) {
 			continue
 		}
-		if !p.levelOK(lv) {
+		if !p.levelOK(e.lv) {
 			return false
 		}
 	}
@@ -263,14 +285,19 @@ func (p Priv) CanObserve(l Label) bool {
 // object labelled l. In this simplified lattice modification requires
 // observation plus ownership of every category raised above the default
 // level — a category at an elevated level marks the object as protected
-// by that category's owner.
+// by that category's owner. Both conditions are checked in one pass:
+// this runs on every reserve debit.
 func (p Priv) CanModify(l Label) bool {
-	if !p.CanObserve(l) {
+	if !p.levelOK(l.def) {
 		return false
 	}
-	for c, lv := range l.entries {
-		if lv > l.def && !p.Owns(c) {
-			return false
+	for _, e := range l.entries {
+		owns := p.Owns(e.c)
+		if !owns && !p.levelOK(e.lv) {
+			return false // unobservable
+		}
+		if !owns && e.lv > l.def {
+			return false // protected by an unowned category
 		}
 	}
 	return true
@@ -278,9 +305,10 @@ func (p Priv) CanModify(l Label) bool {
 
 // CanUse reports whether a thread may consume resources from an object
 // labelled l. Per §3.5 this requires both observe (failed consumption
-// reveals the level) and modify (successful consumption changes it).
+// reveals the level) and modify (successful consumption changes it) —
+// and modification already implies observation in this lattice.
 func (p Priv) CanUse(l Label) bool {
-	return p.CanObserve(l) && p.CanModify(l)
+	return p.CanModify(l)
 }
 
 func (p Priv) levelOK(lv Level) bool {

@@ -263,3 +263,14 @@ func TestPropertyHigherClearanceObservesMore(t *testing.T) {
 		}
 	}
 }
+
+func TestWithRemovalNormalizesToNil(t *testing.T) {
+	l := New(DefaultLevel, map[Category]Level{7: Level2})
+	back := l.With(7, DefaultLevel)
+	if !back.Equal(Public()) {
+		t.Fatal("removing the only exception did not restore the public label")
+	}
+	if !reflect.DeepEqual(back, Public()) {
+		t.Fatal("exception-free label is not in the normalized (nil-entries) form")
+	}
+}

@@ -381,6 +381,121 @@ func (r *Radio) DeviceTick(now units.Time, dt units.Time) {
 	r.stats.ActiveTime += dt
 }
 
+// PeakDraw bounds the radio's possible per-tick draw above baseline: the
+// ramp power or the jittered plateau (plateauScale ≤ 1374/1024 < 2). The
+// kernel budgets this against the battery's depletion horizon before
+// settling skipped device ticks in closed form.
+func (r *Radio) PeakDraw() units.Power {
+	p := r.profile.RadioRampExtra
+	if a := 2 * r.profile.RadioActiveExtra; a > p {
+		p = a
+	}
+	return p
+}
+
+// SettleAccounts lists the radio's private billing reserves (the funding
+// pool). Closed-form settlement reorders device billing against tap
+// flows, which is only exact while no active tap touches these.
+func (r *Radio) SettleAccounts() []*core.Reserve { return []*core.Reserve{r.fund} }
+
+// SettleTicks performs, in closed form, exactly the DeviceTick calls the
+// kernel skipped while its device task was parked: one per tick instant
+// from `from` through `to` inclusive. Between external inputs (Send,
+// Deliver — which only happen at executed engine instants, after
+// settlement has caught up) the state machine is fully determined:
+// ramp until the first tick at/after rampEnd (which bills ramp power and
+// flips to Active, as the per-tick code does), a plateau until the first
+// tick at/after the idle deadline (which bills nothing, sweeps the fund
+// and sleeps), then nothing. Constant-power spans telescope their carry
+// exactly; a span the fund cannot cover replays tick by tick so the
+// fund→battery spill sequence matches a per-tick run to the microjoule.
+func (r *Radio) SettleTicks(from, to, dt units.Time) {
+	for t := from; t <= to; {
+		switch r.state {
+		case Sleep:
+			// Every remaining tick is the per-tick Sleep no-op.
+			r.carry = 0
+			return
+		case Ramp:
+			end := to
+			flips := false
+			if r.rampEnd <= end {
+				// First tick at/after rampEnd: bills ramp, then flips.
+				if e := gridCeil(r.rampEnd, t, dt); e <= end {
+					end, flips = e, true
+				}
+			}
+			r.settleSpan((int64(end-t)/int64(dt))+1, dt, r.profile.RadioRampExtra)
+			if flips {
+				r.transition(end, Active)
+			}
+			t = end + dt
+		case Active:
+			deadline := r.lastActivity + r.profile.RadioIdleTimeout
+			extra := units.Power(int64(r.profile.RadioActiveExtra) * r.plateauScale / 1024)
+			sleepAt := gridCeil(deadline, t, dt)
+			if sleepAt > to {
+				r.settleSpan((int64(to-t)/int64(dt))+1, dt, extra)
+				return
+			}
+			if sleepAt-dt >= t {
+				r.settleSpan((int64(sleepAt-dt-t)/int64(dt))+1, dt, extra)
+			}
+			// The deadline tick: transition only — no billing, no active
+			// time (the per-tick code returns before both).
+			r.transition(sleepAt, Sleep)
+			r.carry = 0
+			_, _ = r.graph.TransferUpTo(r.priv, r.fund, r.graph.Battery(), units.MaxEnergy)
+			if r.onEpisode != nil {
+				r.onEpisode(r.stats.StateEnergy - r.episodeStart)
+			}
+			t = sleepAt + dt
+		}
+	}
+}
+
+// settleSpan bills n ticks of constant extra power in one telescoped
+// debit when the fund covers the total, or tick by tick when it does not
+// (so the exact instant billing spills to the battery is preserved).
+func (r *Radio) settleSpan(n int64, dt units.Time, extra units.Power) {
+	if n <= 0 {
+		return
+	}
+	total := int64(extra)*int64(dt)*n + r.carry
+	e := units.Energy(total / 1000)
+	if e > 0 && !r.fund.CanConsume(r.priv, e) {
+		for i := int64(0); i < n; i++ {
+			var ei units.Energy
+			ei, r.carry = extra.OverRem(dt, r.carry)
+			if ei > 0 {
+				r.consumeDevice(ei)
+				r.stats.StateEnergy += ei
+			}
+			r.stats.ActiveTime += dt
+		}
+		return
+	}
+	r.carry = total % 1000
+	if e > 0 {
+		r.consumeDevice(e)
+		r.stats.StateEnergy += e
+	}
+	r.stats.ActiveTime += units.Time(n) * dt
+}
+
+// gridCeil returns the first tick instant at or after x on the grid
+// {t, t+dt, t+2dt, ...}; x at or before t resolves to t.
+func gridCeil(x, t, dt units.Time) units.Time {
+	if x <= t {
+		return t
+	}
+	rem := (x - t) % dt
+	if rem == 0 {
+		return x
+	}
+	return x + dt - rem
+}
+
 var _ interface {
 	DeviceTick(now units.Time, dt units.Time)
 } = (*Radio)(nil)
