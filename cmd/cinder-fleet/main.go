@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -29,6 +31,12 @@ import (
 )
 
 func main() {
+	// All work happens in realMain so the profile-writing defers run
+	// before the process exits, error or not (os.Exit skips defers).
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
 		devices   = flag.Int("devices", 1000, "fleet size")
 		seed      = flag.Int64("seed", 1, "fleet master seed")
@@ -39,14 +47,46 @@ func main() {
 		perDevice = flag.Bool("per-device", false, "also print one line per device (with -json: include per-device results)")
 		fixedTick = flag.Bool("fixed-tick", false, "use the fixed-tick compat engine (A/B timing)")
 		perBatch  = flag.Bool("per-batch", false, "disable closed-form tap settlement (A/B timing)")
+		noRecycle = flag.Bool("no-recycle", false, "construct every device from scratch instead of recycling worker machinery (A/B timing)")
 		jsonOut   = flag.Bool("json", false, "emit the deterministic JSON report instead of text")
 		sweep     = flag.String("sweep", "", "sweep mode, e.g. battery-j=15000,30000,60000: run the fleet once per value")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cinder-fleet:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "cinder-fleet:", err)
+			}
+		}()
+	}
+
 	sc, ok := fleet.Scenarios()[*scenario]
 	if !ok {
-		fatal(fmt.Errorf("unknown scenario %q (have %s)", *scenario, scenarioNames()))
+		return fail(fmt.Errorf("unknown scenario %q (have %s)", *scenario, scenarioNames()))
 	}
 	cfg := fleet.Config{
 		Devices:  *devices,
@@ -54,6 +94,10 @@ func main() {
 		Duration: units.Time(duration.Milliseconds()),
 		Workers:  *workers,
 		Scenario: sc,
+		// Per-device output needs the result array retained; otherwise
+		// the run streams results and stays O(workers + buckets).
+		KeepResults: *perDevice,
+		NoRecycle:   *noRecycle,
 	}
 	if *batteryJ > 0 {
 		cfg.BatteryCapacity = units.Joules(*batteryJ)
@@ -67,21 +111,23 @@ func main() {
 
 	if *sweep != "" {
 		if err := runSweep(cfg, *sweep, *jsonOut, *perDevice); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		return
+		return 0
 	}
 
 	start := time.Now()
 	rep, err := fleet.Run(cfg)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	elapsed := time.Since(start)
 
 	if *jsonOut {
-		printJSON(rep, *perDevice)
-		return
+		if err := printJSON(rep, *perDevice); err != nil {
+			return fail(err)
+		}
+		return 0
 	}
 	fmt.Print(rep.Format())
 	simulated := time.Duration(int64(cfg.Duration)) * time.Millisecond * time.Duration(cfg.Devices)
@@ -91,6 +137,7 @@ func main() {
 	if *perDevice {
 		printPerDevice(rep)
 	}
+	return 0
 }
 
 // printPerDevice renders one line per device of a report.
@@ -188,12 +235,13 @@ func runSweep(cfg fleet.Config, spec string, jsonOut, perDevice bool) error {
 	return nil
 }
 
-func printJSON(rep fleet.Report, perDevice bool) {
+func printJSON(rep fleet.Report, perDevice bool) error {
 	b, err := rep.JSON(perDevice)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Println(string(b))
+	return nil
 }
 
 func scenarioNames() string {
@@ -206,7 +254,8 @@ func scenarioNames() string {
 	return strings.Join(names, "|")
 }
 
-func fatal(err error) {
+// fail reports an error and returns realMain's failure exit code.
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "cinder-fleet:", err)
-	os.Exit(1)
+	return 1
 }

@@ -165,6 +165,21 @@ func TestAccessorsAndSnapshots(t *testing.T) {
 	if g.Reserves()[0] == nil || g.Taps()[0] != tap {
 		t.Fatal("accessors returned aliased slices")
 	}
+	// EachReserve/EachTap visit the same sequences without copying and
+	// without allocating.
+	var rs []*Reserve
+	var ts []*Tap
+	g.EachReserve(func(r *Reserve) { rs = append(rs, r) })
+	g.EachTap(func(t *Tap) { ts = append(ts, t) })
+	if len(rs) != 2 || rs[0] != g.Battery() || rs[1] != r || len(ts) != 1 || ts[0] != tap {
+		t.Fatalf("Each iteration = %v / %v", rs, ts)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		g.EachReserve(func(*Reserve) {})
+		g.EachTap(func(*Tap) {})
+	}); n != 0 {
+		t.Fatalf("Each iteration allocates %v times, want 0", n)
+	}
 	if tap.Source() != g.Battery() || tap.Sink() != r {
 		t.Fatal("tap endpoints")
 	}

@@ -89,11 +89,11 @@ func FuzzGraphConservation(f *testing.F) {
 			if ce := g.ConservationError(); ce != 0 {
 				t.Fatalf("pc %d (op %d): conservation error %v", pc, op, ce)
 			}
-			for _, r := range g.Reserves() {
+			g.EachReserve(func(r *Reserve) {
 				if lvl, err := r.Level(label.Priv{}); err == nil && lvl < 0 {
 					t.Fatalf("pc %d: negative reserve %q: %v", pc, r.Name(), lvl)
 				}
-			}
+			})
 		}
 	})
 }

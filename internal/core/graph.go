@@ -122,21 +122,61 @@ func (g *Graph) setTapActive(t *Tap, active bool) {
 // *to* it) and carries the given label; typically only the kernel owns
 // its elevated category.
 func NewGraph(t *kobj.Table, root *kobj.Container, batteryLabel label.Label, cfg Config) *Graph {
+	g := &Graph{}
+	g.Reset(t, root, batteryLabel, cfg)
+	return g
+}
+
+// Reset reinitializes the graph in place to the exact state NewGraph
+// would produce, reusing every backing array already allocated. The
+// fleet runner recycles one Graph per worker this way instead of
+// constructing 100k fresh ones; all reserves and taps of the previous
+// life are forgotten (their owners must be discarded too — the kernel's
+// Reset drops the whole object table).
+func (g *Graph) Reset(t *kobj.Table, root *kobj.Container, batteryLabel label.Label, cfg Config) {
 	if cfg.BatteryCapacity == 0 {
 		cfg.BatteryCapacity = DefaultBatteryCapacity
 	}
 	if cfg.DecayHalfLife == 0 {
 		cfg.DecayHalfLife = DefaultHalfLife
 	}
-	g := &Graph{
-		table:    t,
-		capacity: cfg.BatteryCapacity,
-		halfLife: cfg.DecayHalfLife,
-		strict:   cfg.StrictHoarding,
-	}
+	g.table = t
+	g.battery = nil
+	g.reserves = truncReserves(g.reserves)
+	g.taps = truncTaps(g.taps)
+	g.active = truncTaps(g.active)
+	g.decayable = truncReserves(g.decayable)
+	g.onTapActivity = nil
+	g.flowScratch = truncTaps(g.flowScratch)
+	g.flowHook = nil
+	g.tapSeq = 0
+	g.consumed = 0
+	g.capacity = cfg.BatteryCapacity
+	g.halfLife = cfg.DecayHalfLife
+	g.strict = cfg.StrictHoarding
+	g.settleEpoch = 0
+	g.settleTelescope = truncTaps(g.settleTelescope)
+	g.settleReplay = truncTaps(g.settleReplay)
+	g.settleSrcs = truncReserves(g.settleSrcs)
+	g.flowWalks = 0
+	g.settledBatches = 0
+	g.decayFactorDT = 0
+	g.decayFactor = 0
 	g.battery = g.newReserve(root, "battery", batteryLabel, ReserveOpts{DecayExempt: true})
 	g.battery.level = cfg.BatteryCapacity
-	return g
+}
+
+// truncReserves / truncTaps empty a pointer slice while keeping its
+// backing array, clearing the elements so a recycled graph does not pin
+// the previous device's objects.
+func truncReserves(s []*Reserve) []*Reserve {
+	clear(s)
+	return s[:0]
+}
+
+func truncTaps(s []*Tap) []*Tap {
+	clear(s)
+	return s[:0]
 }
 
 // Battery returns the root reserve (§3.4: "the root of the graph is a
@@ -467,17 +507,36 @@ func (g *Graph) ConservationError() units.Energy {
 }
 
 // Reserves returns the live reserves in creation order (battery first).
+// It copies; iteration-only callers should prefer EachReserve, which
+// does not allocate.
 func (g *Graph) Reserves() []*Reserve {
 	out := make([]*Reserve, len(g.reserves))
 	copy(out, g.reserves)
 	return out
 }
 
-// Taps returns the live taps in creation order.
+// EachReserve calls fn for every live reserve in creation order (battery
+// first) without allocating. fn must not create or release reserves.
+func (g *Graph) EachReserve(fn func(*Reserve)) {
+	for _, r := range g.reserves {
+		fn(r)
+	}
+}
+
+// Taps returns the live taps in creation order. It copies;
+// iteration-only callers should prefer EachTap, which does not allocate.
 func (g *Graph) Taps() []*Tap {
 	out := make([]*Tap, len(g.taps))
 	copy(out, g.taps)
 	return out
+}
+
+// EachTap calls fn for every live tap in creation order without
+// allocating. fn must not create or release taps.
+func (g *Graph) EachTap(fn func(*Tap)) {
+	for _, t := range g.taps {
+		fn(t)
+	}
 }
 
 // HalfLife returns the configured decay half-life (negative if decay is

@@ -105,12 +105,12 @@ func TestPropertyConservation(t *testing.T) {
 			if ce := g.ConservationError(); ce != 0 {
 				t.Fatalf("trial %d step %d: conservation error %v", trial, step, ce)
 			}
-			for _, res := range g.Reserves() {
+			g.EachReserve(func(res *Reserve) {
 				if lvl, err := res.Level(label.Priv{}); err == nil && lvl < 0 {
 					t.Fatalf("trial %d step %d: reserve %q negative: %v",
 						trial, step, res.Name(), lvl)
 				}
-			}
+			})
 		}
 	}
 }

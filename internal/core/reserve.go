@@ -46,8 +46,12 @@ var (
 // insufficientErr is the ErrInsufficient instance returned by Consume
 // and DebitSelf. Failing consumptions are an expected steady state (a
 // dead battery is billed every batch until the device stops; throttled
-// threads retry every quantum), so the message is formatted lazily —
-// construction is a single allocation with no fmt work.
+// threads retry every quantum), so each Reserve embeds one instance and
+// returns a pointer to it: the failure path performs no fmt work and no
+// allocation at all. The returned error's message is therefore only
+// valid until the reserve's next failing operation — callers that need
+// to retain it (none of the simulation's steady-state callers do)
+// should capture Error() immediately.
 type insufficientErr struct {
 	name       string
 	have, need units.Energy
@@ -107,6 +111,9 @@ type Reserve struct {
 	settleMark    uint64
 	settleDrain   int64
 	settleCarry   int64
+	// insufficient is the reusable ErrInsufficient instance returned by
+	// failing Consume/DebitSelf calls (see insufficientErr).
+	insufficient insufficientErr
 }
 
 // Name returns the reserve's diagnostic name.
@@ -152,7 +159,8 @@ func (r *Reserve) Consume(p label.Priv, amount units.Energy) error {
 	}
 	if r.level < amount {
 		r.stats.ConsumeFailures++
-		return &insufficientErr{name: r.name, have: r.level, need: amount}
+		r.insufficient = insufficientErr{name: r.name, have: r.level, need: amount}
+		return &r.insufficient
 	}
 	r.level -= amount
 	r.stats.Consumed += amount
@@ -165,6 +173,16 @@ func (r *Reserve) Consume(p label.Priv, amount units.Energy) error {
 func (r *Reserve) CanConsume(p label.Priv, amount units.Energy) bool {
 	return !r.dead && p.CanUse(r.Label()) && r.level >= amount
 }
+
+// CanDebitSelf reports whether a DebitSelf of amount would succeed,
+// without side effects. Closed-form device settlement uses it to decide
+// whether a span of per-tick debits can telescope into one.
+func (r *Reserve) CanDebitSelf(p label.Priv, amount units.Energy) bool {
+	return !r.dead && p.CanUse(r.Label()) && (r.allowDebt || r.level >= amount)
+}
+
+// AllowDebt reports whether the reserve permits DebitSelf past zero.
+func (r *Reserve) AllowDebt() bool { return r.allowDebt }
 
 // DebitSelf draws amount even into debt (§5.5.2: "threads can debit
 // their own reserves up to or into debt even if the cost can only be
@@ -181,7 +199,8 @@ func (r *Reserve) DebitSelf(p label.Priv, amount units.Energy) error {
 		return fmt.Errorf("%w: use reserve %q", ErrAccess, r.name)
 	}
 	if !r.allowDebt && r.level < amount {
-		return &insufficientErr{name: r.name, debt: true}
+		r.insufficient = insufficientErr{name: r.name, debt: true}
+		return &r.insufficient
 	}
 	r.level -= amount
 	r.stats.Consumed += amount

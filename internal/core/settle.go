@@ -83,6 +83,21 @@ func (g *Graph) ReserveTapped(r *Reserve) bool {
 	return false
 }
 
+// ReserveDrainedByTap reports whether any active tap has r as its
+// source. A tap's draw clamps to (and a proportional tap reads) its
+// source level, so reordering other debits against flows is only exact
+// for reserves no tap drains; taps merely feeding r credit
+// level-independent amounts, which commute with debt-allowed debits
+// (the SettleSafe argument in internal/msm).
+func (g *Graph) ReserveDrainedByTap(r *Reserve) bool {
+	for _, t := range g.active {
+		if t.src == r {
+			return true
+		}
+	}
+	return false
+}
+
 // SettleFlows advances the graph through n consecutive Flow(dt) batches,
 // byte-identical to n sequential Flow calls with no interleaved graph
 // mutation. Batches inside the depletion horizon settle in closed form
@@ -145,23 +160,6 @@ func (g *Graph) planSettle(dt units.Time, extra units.Power) int64 {
 	g.settleTelescope = g.settleTelescope[:0]
 	g.settleReplay = g.settleReplay[:0]
 	g.settleSrcs = g.settleSrcs[:0]
-	addDrain := func(r *Reserve, perBatchScaled, carry int64) {
-		if r.settleMark != epoch {
-			r.settleMark = epoch
-			r.settleDrain = 0
-			r.settleCarry = 0
-			g.settleSrcs = append(g.settleSrcs, r)
-		}
-		// Saturating add: several near-cap rates on one source must not
-		// wrap the drain sum negative (the horizon loop treats a
-		// saturated drain as "replay only").
-		if r.settleDrain > horizonCap-perBatchScaled {
-			r.settleDrain = horizonCap
-		} else {
-			r.settleDrain += perBatchScaled
-		}
-		r.settleCarry += carry
-	}
 	for _, t := range g.active {
 		if t.kind == TapProportional {
 			g.settleReplay = append(g.settleReplay, t)
@@ -176,7 +174,7 @@ func (g *Graph) planSettle(dt units.Time, extra units.Power) int64 {
 		// construction. (The battery is the one exception, handled by
 		// the extra-drain rejection above.)
 		if t.src.sensitiveMark != epoch {
-			addDrain(t.src, int64(t.rate)*int64(dt), t.carry)
+			g.addSettleDrain(t.src, epoch, int64(t.rate)*int64(dt), t.carry)
 		}
 		if t.src.sensitiveMark == epoch || t.sink.sensitiveMark == epoch {
 			g.settleReplay = append(g.settleReplay, t)
@@ -189,7 +187,7 @@ func (g *Graph) planSettle(dt units.Time, extra units.Power) int64 {
 			return 0
 		}
 		// The caller's own carry is invisible here; budget a full one.
-		addDrain(g.battery, int64(extra)*int64(dt), 999)
+		g.addSettleDrain(g.battery, epoch, int64(extra)*int64(dt), 999)
 	}
 
 	horizon := int64(horizonCap)
@@ -223,6 +221,27 @@ func (g *Graph) planSettle(dt units.Time, extra units.Power) int64 {
 		}
 	}
 	return horizon
+}
+
+// addSettleDrain accumulates one tap's (or the caller's) per-batch
+// worst-case outflow onto its source reserve for the current planning
+// epoch, registering the reserve as a drain source on first touch.
+func (g *Graph) addSettleDrain(r *Reserve, epoch uint64, perBatchScaled, carry int64) {
+	if r.settleMark != epoch {
+		r.settleMark = epoch
+		r.settleDrain = 0
+		r.settleCarry = 0
+		g.settleSrcs = append(g.settleSrcs, r)
+	}
+	// Saturating add: several near-cap rates on one source must not
+	// wrap the drain sum negative (the horizon loop treats a
+	// saturated drain as "replay only").
+	if r.settleDrain > horizonCap-perBatchScaled {
+		r.settleDrain = horizonCap
+	} else {
+		r.settleDrain += perBatchScaled
+	}
+	r.settleCarry += carry
 }
 
 // settleChunk settles up to n batches in closed form, returning how many

@@ -296,7 +296,7 @@ func TestHorizonMonotonic(t *testing.T) {
 		}
 	}
 	// Nothing may have overshot: every level non-negative.
-	for _, res := range g.Reserves() {
+	g.EachReserve(func(res *Reserve) {
 		lvl, err := res.Level(label.Priv{})
 		if err != nil {
 			t.Fatal(err)
@@ -304,7 +304,7 @@ func TestHorizonMonotonic(t *testing.T) {
 		if lvl < 0 {
 			t.Fatalf("reserve %s overshot to %v", res.Name(), lvl)
 		}
-	}
+	})
 	if g.ConservationError() != 0 {
 		t.Fatalf("conservation violated: %v", g.ConservationError())
 	}

@@ -51,11 +51,12 @@ func DayInTheLife(opts DayInTheLifeOptions) Result {
 	}
 
 	cfg := fleet.Config{
-		Devices:  opts.Devices,
-		Seed:     opts.Seed,
-		Duration: opts.Duration,
-		Workers:  1,
-		Scenario: fleet.DayInTheLife(),
+		Devices:     opts.Devices,
+		Seed:        opts.Seed,
+		Duration:    opts.Duration,
+		Workers:     1,
+		Scenario:    fleet.DayInTheLife(),
+		KeepResults: true,
 	}
 	rep, err := fleet.Run(cfg)
 	if err != nil {
@@ -168,11 +169,12 @@ func DayInTheLife(opts DayInTheLifeOptions) Result {
 func phaseDelta(seed int64, duration units.Time, ph fleet.Phase) units.Energy {
 	run := func(phases ...fleet.Phase) units.Energy {
 		rep, err := fleet.Run(fleet.Config{
-			Devices:  1,
-			Seed:     seed,
-			Duration: duration,
-			Workers:  1,
-			Scenario: fleet.Compose{Label: "probe", Phases: phases},
+			Devices:     1,
+			Seed:        seed,
+			Duration:    duration,
+			Workers:     1,
+			Scenario:    fleet.Compose{Label: "probe", Phases: phases},
+			KeepResults: true,
 		})
 		if err != nil {
 			return -1

@@ -22,11 +22,12 @@ func TestComposeTeardownRestoresQuiescence(t *testing.T) {
 		},
 	}
 	rep, err := Run(Config{
-		Devices:  1,
-		Seed:     11,
-		Duration: 20 * units.Minute,
-		Workers:  1,
-		Scenario: day,
+		Devices:     1,
+		Seed:        11,
+		Duration:    20 * units.Minute,
+		Workers:     1,
+		Scenario:    day,
+		KeepResults: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -58,6 +59,7 @@ func TestComposePhaseJitterSpreadsDevices(t *testing.T) {
 	run := func() Report {
 		rep, err := Run(Config{
 			Devices: 6, Seed: 5, Duration: 15 * units.Minute, Workers: 2, Scenario: day,
+			KeepResults: true,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -90,7 +92,8 @@ func TestOverlappingCallPhases(t *testing.T) {
 	run := func(phases ...Phase) units.Energy {
 		rep, err := Run(Config{
 			Devices: 1, Seed: 3, Duration: 15 * units.Minute, Workers: 1,
-			Scenario: Compose{Label: "probe", Phases: phases},
+			Scenario:    Compose{Label: "probe", Phases: phases},
+			KeepResults: true,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -148,11 +151,12 @@ func TestMixValidation(t *testing.T) {
 // day-in-the-life fleet, long enough that every workload type fires.
 func mixCfg(workers int) Config {
 	return Config{
-		Devices:  12,
-		Seed:     9,
-		Duration: 4 * units.Hour,
-		Workers:  workers,
-		Scenario: DayInTheLife(),
+		Devices:     12,
+		Seed:        9,
+		Duration:    4 * units.Hour,
+		Workers:     workers,
+		Scenario:    DayInTheLife(),
+		KeepResults: true,
 	}
 }
 

@@ -20,7 +20,6 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/kernel"
 	"repro/internal/msm"
@@ -154,6 +153,17 @@ type Config struct {
 	// settlement; the per-batch compat mode exists for A/B timing and
 	// differential tests).
 	Settle kernel.SettleMode
+	// KeepResults retains the per-device result array on the Report.
+	// Off (the default) the run streams each DeviceResult into the
+	// aggregate and drops it, so fleet memory stays O(workers + buckets)
+	// regardless of size — at 100k devices the array is the report's
+	// only super-constant consumer. Turn it on for per-device output.
+	KeepResults bool
+	// NoRecycle constructs every device from scratch instead of
+	// recycling each worker's kernel/radio/netd machinery. It exists for
+	// A/B benchmarks and the recycling-equivalence tests; reports are
+	// byte-identical either way.
+	NoRecycle bool
 }
 
 // Report is the deterministic aggregate of a fleet run.
@@ -428,6 +438,15 @@ func (r Report) marshalJSON(perDevice, canonical bool) ([]byte, error) {
 }
 
 // Run simulates the fleet and returns the aggregate report.
+//
+// Devices are dispatched to the worker pool through a bounded admission
+// window and their results are reduced strictly in index order as they
+// stream back, so (1) every float accumulation happens in the same
+// order regardless of worker count or scheduling, and (2) the run never
+// holds more than O(workers) in-flight results plus O(buckets)
+// aggregate state — per-device results are dropped after reduction
+// unless cfg.KeepResults asks for them. (Death times of dead devices
+// are the one O(dead) exception: exact percentiles need them all.)
 func Run(cfg Config) (Report, error) {
 	if cfg.Devices <= 0 {
 		return Report{}, fmt.Errorf("fleet: need at least 1 device, got %d", cfg.Devices)
@@ -452,60 +471,154 @@ func Run(cfg Config) (Report, error) {
 		workers = cfg.Devices
 	}
 
-	results := make([]DeviceResult, cfg.Devices)
-	errs := make([]error, cfg.Devices)
-	var next atomic.Int64
+	// The admission window bounds how far any device index may run
+	// ahead of the reduction frontier, which in turn bounds the reorder
+	// ring: index i is dispatched only once the frontier has passed
+	// i−window, so at most `window` results are ever buffered and the
+	// result channel can never fill with the frontier index still
+	// outstanding (the no-deadlock argument).
+	window := 4 * workers
+	if window > cfg.Devices {
+		window = cfg.Devices
+	}
+	type slot struct {
+		res  DeviceResult
+		err  error
+		done bool
+	}
+	ring := make([]slot, window)
+	indexCh := make(chan int, window)
+	resultCh := make(chan int, window)
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= cfg.Devices {
-					return
-				}
-				results[i], errs[i] = runDevice(cfg, i)
+			var rg rig
+			for i := range indexCh {
+				// The ring slot for index i is owned by this worker
+				// until the reducer receives i; the channel send is the
+				// happens-before edge.
+				s := &ring[i%window]
+				s.res, s.err = runDevice(cfg, i, &rg)
+				resultCh <- i
 			}
 		}()
 	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return Report{}, fmt.Errorf("fleet: device %d: %w", i, err)
+
+	dispatched := 0
+	for ; dispatched < window; dispatched++ {
+		indexCh <- dispatched
+	}
+	if dispatched == cfg.Devices {
+		close(indexCh)
+	}
+
+	agg := newAggregator(cfg, workers)
+	var firstErr error
+	for frontier := 0; frontier < cfg.Devices; {
+		i := <-resultCh
+		ring[i%window].done = true
+		for frontier < cfg.Devices && ring[frontier%window].done {
+			s := &ring[frontier%window]
+			if s.err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("fleet: device %d: %w", frontier, s.err)
+			} else if firstErr == nil {
+				agg.add(s.res)
+			}
+			*s = slot{}
+			frontier++
+			if dispatched < cfg.Devices {
+				indexCh <- dispatched
+				dispatched++
+				if dispatched == cfg.Devices {
+					close(indexCh)
+				}
+			}
 		}
 	}
-	return aggregate(cfg, workers, results), nil
+	wg.Wait()
+	if firstErr != nil {
+		return Report{}, firstErr
+	}
+	return agg.finish(), nil
+}
+
+// rig is one worker's recyclable device machinery: the kernel (engine,
+// object table, graph, scheduler), radio and netd are Reset in place
+// for each device instead of constructed fresh, so a 100k-device run
+// builds only O(workers) object graphs. The per-device Smdd is not
+// recycled — it exists only on devices whose scenario asks for it.
+type rig struct {
+	k   *kernel.Kernel
+	r   *radio.Radio
+	n   *netd.Netd
+	dev *Device
 }
 
 // runDevice simulates one fleet member to its horizon (or battery
-// death).
-func runDevice(cfg Config, idx int) (DeviceResult, error) {
+// death), recycling the rig's machinery when it already exists. The
+// recycled construction sequence is identical to the fresh one —
+// kernel, then radio (and its funding reserve), then netd — so object
+// IDs, seeds and every downstream result are byte-identical; the
+// equivalence tests assert it.
+func runDevice(cfg Config, idx int, rg *rig) (DeviceResult, error) {
 	seed := DeriveSeed(cfg.Seed, idx)
 	mode := cfg.EngineMode
 	if mode == sim.ModeAuto {
 		mode = sim.DefaultMode()
 	}
-	k := kernel.New(kernel.Config{
+	kcfg := kernel.Config{
 		Seed:            seed,
 		BatteryCapacity: cfg.BatteryCapacity,
 		EngineMode:      mode,
 		Settle:          cfg.Settle,
-	})
-	r := radio.New(k.Eng, k.Graph, k.Root, k.KernelPriv(), radio.Config{Profile: k.Profile})
-	k.AddDevice(r)
-	n, err := netd.New(k, r, netd.Config{Cooperative: true, QuiescentSweep: true})
-	if err != nil {
-		return DeviceResult{}, err
 	}
-	d := &Device{
+	ncfg := netd.Config{Cooperative: true, QuiescentSweep: true}
+	if cfg.NoRecycle {
+		*rg = rig{}
+	}
+	if rg.k == nil {
+		rg.k = kernel.New(kcfg)
+		rg.r = radio.New(rg.k.Eng, rg.k.Graph, rg.k.Root, rg.k.KernelPriv(), radio.Config{Profile: rg.k.Profile})
+		rg.k.AddDevice(rg.r)
+		var err error
+		rg.n, err = netd.New(rg.k, rg.r, ncfg)
+		if err != nil {
+			*rg = rig{} // never leave a half-built rig for the next device
+			return DeviceResult{}, err
+		}
+		rg.dev = &Device{}
+	} else {
+		rg.k.Reset(kcfg)
+		rg.r.Reset(rg.k.Eng, rg.k.Graph, rg.k.Root, rg.k.KernelPriv(), radio.Config{Profile: rg.k.Profile})
+		rg.k.AddDevice(rg.r)
+		if err := rg.n.Reset(rg.k, rg.r, ncfg); err != nil {
+			*rg = rig{}
+			return DeviceResult{}, err
+		}
+	}
+	k, r, n := rg.k, rg.r, rg.n
+
+	d := rg.dev
+	clear(d.Probes)
+	probes := d.Probes[:0]
+	rand := d.Rand
+	if rand == nil {
+		rand = newSplitmix(seed)
+	} else {
+		rand.state = uint64(seed)
+	}
+	*d = Device{
 		Index:    idx,
 		Seed:     seed,
-		Rand:     newSplitmix(seed),
+		Rand:     rand,
 		Kernel:   k,
 		Radio:    r,
 		Netd:     n,
 		Scenario: cfg.Scenario.Name(),
+		Probes:   probes,
 	}
 	if err := cfg.Scenario.Build(d); err != nil {
 		return DeviceResult{}, err
@@ -543,100 +656,118 @@ func runDevice(cfg Config, idx int) (DeviceResult, error) {
 	return res, nil
 }
 
-// aggregate reduces per-device results in index order, so every float
-// accumulation is order-stable and the report is identical across
-// worker counts.
-func aggregate(cfg Config, workers int, results []DeviceResult) Report {
-	rep := Report{
-		Scenario: cfg.Scenario.Name(),
-		Devices:  cfg.Devices,
-		Seed:     cfg.Seed,
-		Duration: cfg.Duration,
-		Workers:  workers,
-		Results:  results,
-	}
-	var lives []units.Time
-	for i, r := range results {
-		rep.TotalConsumed += r.Consumed
-		if i == 0 || r.Consumed < rep.MinConsumed {
-			rep.MinConsumed = r.Consumed
-		}
-		if r.Consumed > rep.MaxConsumed {
-			rep.MaxConsumed = r.Consumed
-		}
-		rep.MeanUtilization += r.Utilization
-		rep.TotalPolls += r.Polls
-		rep.TotalActivations += r.RadioActivations
-		rep.TotalPowerUps += r.PowerUps
-		rep.TotalEngineSteps += r.EngineSteps
-		rep.TotalFlowWalks += r.FlowWalks
-		rep.TotalSettledBatches += r.SettledBatches
-		if r.Died {
-			rep.Dead++
-			lives = append(lives, r.DiedAt)
-		}
-	}
-	rep.MeanConsumed = rep.TotalConsumed / units.Energy(cfg.Devices)
-	rep.MeanUtilization /= float64(cfg.Devices)
-	if len(lives) > 0 {
-		sort.Slice(lives, func(i, j int) bool { return lives[i] < lives[j] })
-		rep.LifeP50 = percentile(lives, 50)
-		rep.LifeP90 = percentile(lives, 90)
-	}
-	rep.Buckets = bucketize(results)
-	return rep
+// aggregator reduces device results into the report incrementally, in
+// strict index order. Its state is O(buckets) plus the death times
+// needed for exact lifetime percentiles; the accumulation arithmetic is
+// exactly the order the former two-pass reduction performed, so reports
+// are bit-identical to pre-streaming ones and across worker counts.
+type aggregator struct {
+	rep         Report
+	keep        bool
+	seen        int
+	lives       []units.Time
+	byName      map[string]*Bucket
+	names       []string
+	bucketLives map[string][]units.Time
 }
 
-// bucketize reduces results into per-scenario buckets, sorted by bucket
-// name. Devices are walked in index order and names sorted at the end,
-// so the output is identical regardless of worker count.
-func bucketize(results []DeviceResult) []Bucket {
-	byName := make(map[string]*Bucket)
-	lives := make(map[string][]units.Time)
-	var names []string
-	for _, r := range results {
-		b := byName[r.Scenario]
-		if b == nil {
-			b = &Bucket{Name: r.Scenario}
-			byName[r.Scenario] = b
-			names = append(names, r.Scenario)
-		}
-		b.Devices++
-		b.TotalConsumed += r.Consumed
-		b.MeanUtilization += r.Utilization
-		b.Polls += r.Polls
-		b.Pages += r.Pages
-		b.Activations += r.RadioActivations
-		b.PowerUps += r.PowerUps
-		b.SMSSent += r.SMSSent
-		b.Calls += r.CallsPlaced
-		// Accumulated as a total here, divided into a mean below —
-		// the same pattern as MeanUtilization.
-		b.MeanSteps += r.EngineSteps
-		b.MeanFlowWalks += r.FlowWalks
-		b.MeanSettledBatches += r.SettledBatches
-		if r.Died {
-			b.Dead++
-			lives[r.Scenario] = append(lives[r.Scenario], r.DiedAt)
-		}
+func newAggregator(cfg Config, workers int) *aggregator {
+	return &aggregator{
+		rep: Report{
+			Scenario: cfg.Scenario.Name(),
+			Devices:  cfg.Devices,
+			Seed:     cfg.Seed,
+			Duration: cfg.Duration,
+			Workers:  workers,
+		},
+		keep:        cfg.KeepResults,
+		byName:      make(map[string]*Bucket),
+		bucketLives: make(map[string][]units.Time),
 	}
-	sort.Strings(names)
-	out := make([]Bucket, 0, len(names))
-	for _, n := range names {
-		b := byName[n]
+}
+
+// add folds one device's result into the aggregate. Results must arrive
+// in index order.
+func (a *aggregator) add(r DeviceResult) {
+	rep := &a.rep
+	rep.TotalConsumed += r.Consumed
+	if a.seen == 0 || r.Consumed < rep.MinConsumed {
+		rep.MinConsumed = r.Consumed
+	}
+	if r.Consumed > rep.MaxConsumed {
+		rep.MaxConsumed = r.Consumed
+	}
+	rep.MeanUtilization += r.Utilization
+	rep.TotalPolls += r.Polls
+	rep.TotalActivations += r.RadioActivations
+	rep.TotalPowerUps += r.PowerUps
+	rep.TotalEngineSteps += r.EngineSteps
+	rep.TotalFlowWalks += r.FlowWalks
+	rep.TotalSettledBatches += r.SettledBatches
+	if r.Died {
+		rep.Dead++
+		a.lives = append(a.lives, r.DiedAt)
+	}
+	a.seen++
+
+	b := a.byName[r.Scenario]
+	if b == nil {
+		b = &Bucket{Name: r.Scenario}
+		a.byName[r.Scenario] = b
+		a.names = append(a.names, r.Scenario)
+	}
+	b.Devices++
+	b.TotalConsumed += r.Consumed
+	b.MeanUtilization += r.Utilization
+	b.Polls += r.Polls
+	b.Pages += r.Pages
+	b.Activations += r.RadioActivations
+	b.PowerUps += r.PowerUps
+	b.SMSSent += r.SMSSent
+	b.Calls += r.CallsPlaced
+	// Accumulated as a total here, divided into a mean in finish —
+	// the same pattern as MeanUtilization.
+	b.MeanSteps += r.EngineSteps
+	b.MeanFlowWalks += r.FlowWalks
+	b.MeanSettledBatches += r.SettledBatches
+	if r.Died {
+		b.Dead++
+		a.bucketLives[r.Scenario] = append(a.bucketLives[r.Scenario], r.DiedAt)
+	}
+
+	if a.keep {
+		rep.Results = append(rep.Results, r)
+	}
+}
+
+// finish computes the means and percentiles and assembles the sorted
+// bucket list.
+func (a *aggregator) finish() Report {
+	rep := a.rep
+	rep.MeanConsumed = rep.TotalConsumed / units.Energy(rep.Devices)
+	rep.MeanUtilization /= float64(rep.Devices)
+	if len(a.lives) > 0 {
+		sort.Slice(a.lives, func(i, j int) bool { return a.lives[i] < a.lives[j] })
+		rep.LifeP50 = percentile(a.lives, 50)
+		rep.LifeP90 = percentile(a.lives, 90)
+	}
+	sort.Strings(a.names)
+	rep.Buckets = make([]Bucket, 0, len(a.names))
+	for _, n := range a.names {
+		b := a.byName[n]
 		b.MeanConsumed = b.TotalConsumed / units.Energy(b.Devices)
 		b.MeanUtilization /= float64(b.Devices)
 		b.MeanSteps /= uint64(b.Devices)
 		b.MeanFlowWalks /= int64(b.Devices)
 		b.MeanSettledBatches /= int64(b.Devices)
-		if l := lives[n]; len(l) > 0 {
+		if l := a.bucketLives[n]; len(l) > 0 {
 			sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
 			b.LifeP50 = percentile(l, 50)
 			b.LifeP90 = percentile(l, 90)
 		}
-		out = append(out, *b)
+		rep.Buckets = append(rep.Buckets, *b)
 	}
-	return out
+	return rep
 }
 
 // percentile returns the nearest-rank p-th percentile of a sorted,

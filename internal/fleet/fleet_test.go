@@ -11,11 +11,12 @@ import (
 
 func testCfg(workers int) Config {
 	return Config{
-		Devices:  32,
-		Seed:     7,
-		Duration: 90 * units.Second,
-		Workers:  workers,
-		Scenario: PollerScenario{},
+		Devices:     32,
+		Seed:        7,
+		Duration:    90 * units.Second,
+		Workers:     workers,
+		Scenario:    PollerScenario{},
+		KeepResults: true,
 	}
 }
 
@@ -97,6 +98,7 @@ func TestFleetBatteryDeath(t *testing.T) {
 		Scenario: IdleScenario{},
 		// 699 mW idle drains 30 J in ≈43 s: every device must die.
 		BatteryCapacity: 30 * units.Joule,
+		KeepResults:     true,
 	}
 	rep, err := Run(cfg)
 	if err != nil {
@@ -171,6 +173,100 @@ func TestFleetModeEquivalence(t *testing.T) {
 	}
 }
 
+// TestFleetRecycleEquivalence: recycling a worker's kernel/radio/netd
+// machinery across devices must be invisible — the full JSON report
+// (engine diagnostics included) must be byte-identical to building
+// every device from scratch. A single worker maximizes reuse (31 of 32
+// devices run on recycled machinery).
+func TestFleetRecycleEquivalence(t *testing.T) {
+	cfg := testCfg(1)
+	recycled, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NoRecycle = true
+	fresh, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj, err := recycled.JSON(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fj, err := fresh.JSON(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rj, fj) {
+		t.Fatalf("device recycling changed the report:\n%s\nvs\n%s",
+			recycled.Format(), fresh.Format())
+	}
+}
+
+// TestFleetRecycleEquivalenceMixed runs the heterogeneous mix — every
+// workload type, Smdd construction, battery deaths — through recycled
+// and fresh machinery. Mixed scenarios are the hard case: consecutive
+// devices on one worker rebuild completely different object populations
+// into the same recycled memory.
+func TestFleetRecycleEquivalenceMixed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := Config{
+		Devices:     10,
+		Seed:        21,
+		Duration:    4 * units.Hour,
+		Workers:     2,
+		Scenario:    DayInTheLife(),
+		KeepResults: true,
+	}
+	recycled, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NoRecycle = true
+	fresh, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj, err := recycled.JSON(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fj, err := fresh.JSON(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rj, fj) {
+		t.Fatal("device recycling changed the mixed-scenario report")
+	}
+}
+
+// TestFleetStreamingDropsResults: without KeepResults the run reduces
+// results as they stream and the report must not retain the per-device
+// array — the property that keeps 100k-device fleets in O(workers)
+// memory.
+func TestFleetStreamingDropsResults(t *testing.T) {
+	cfg := testCfg(4)
+	cfg.KeepResults = false
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 {
+		t.Fatalf("streaming run retained %d results, want 0", len(rep.Results))
+	}
+	kept, err := Run(testCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The streamed aggregate must equal the retained-results aggregate.
+	rep.Results = kept.Results
+	if !reflect.DeepEqual(rep, kept) {
+		t.Fatalf("streaming changed the aggregate:\n%s\nvs\n%s", rep.Format(), kept.Format())
+	}
+}
+
 func TestDeriveSeedSpread(t *testing.T) {
 	seen := map[int64]bool{}
 	for i := 0; i < 10_000; i++ {
@@ -211,6 +307,7 @@ func TestFleetDeathAtTimeZero(t *testing.T) {
 		Workers:         1,
 		Scenario:        IdleScenario{},
 		BatteryCapacity: units.Microjoule,
+		KeepResults:     true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -260,6 +357,7 @@ func TestPercentileNearestRank(t *testing.T) {
 func TestAggregateSingleDevice(t *testing.T) {
 	rep, err := Run(Config{
 		Devices: 1, Seed: 2, Duration: 30 * units.Second, Workers: 1, Scenario: IdleScenario{},
+		KeepResults: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -289,6 +387,7 @@ func TestAggregateAllDead(t *testing.T) {
 		Workers:         2,
 		Scenario:        IdleScenario{},
 		BatteryCapacity: 30 * units.Joule, // ≈43 s at 699 mW
+		KeepResults:     true,
 	})
 	if err != nil {
 		t.Fatal(err)

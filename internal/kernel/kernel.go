@@ -147,8 +147,10 @@ type Kernel struct {
 	baseCarry   int64
 	backlight   bool
 	// devices receive a callback each tick so peripherals (the radio)
-	// can advance their state machines and bill their draw.
-	devices []Device
+	// can advance their state machines and bill their draw. The optional
+	// interfaces (quiescence, settlement) are asserted once at AddDevice
+	// so the per-instant quiescence checks do no dynamic type tests.
+	devices []deviceEntry
 
 	// Quiescence and settlement machinery (next-event engines only).
 	// When no thread is runnable the scheduler task defers to the
@@ -181,6 +183,24 @@ type Kernel struct {
 	lazySettle     bool
 	tapsPending    units.Time
 	devicesPending units.Time
+	// billBaselineFn is billBaselineBatches bound once at construction,
+	// so settleBatches can hand SettleFlows its interleave callback
+	// without allocating a closure per settlement window.
+	billBaselineFn func(int64)
+}
+
+// deviceEntry caches a registered device's optional capabilities.
+type deviceEntry struct {
+	dev Device
+	// quiescent is non-nil iff dev implements QuiescentDevice.
+	quiescent QuiescentDevice
+	// settleable is non-nil iff dev implements SettleableDevice;
+	// accounts caches its SettleAccounts result (the reserve set is
+	// fixed for the device's lifetime). guard is non-nil iff dev
+	// implements SettleGuardDevice, which replaces the accounts check.
+	settleable SettleableDevice
+	guard      SettleGuardDevice
+	accounts   []*core.Reserve
 }
 
 // Device is a peripheral that advances once per tick.
@@ -222,13 +242,44 @@ type SettleableDevice interface {
 	PeakDraw() units.Power
 	// SettleAccounts lists the device's private billing reserves.
 	// Settlement reorders device billing against tap flows, which is
-	// only exact while no active tap touches these.
+	// only exact while no active tap touches these. The set must be
+	// fixed for the device's registration lifetime: the kernel caches it
+	// at AddDevice so the per-instant settleability check allocates
+	// nothing. Devices whose billing targets change over time implement
+	// SettleGuardDevice instead, which supersedes the account check.
 	SettleAccounts() []*core.Reserve
+}
+
+// SettleGuardDevice optionally refines SettleableDevice for devices
+// whose billing targets vary (smdd bills whichever thread placed the
+// current call): SettleSafe judges, from the device's own knowledge of
+// its targets and the graph, whether its pending ticks commute with tap
+// flows — e.g. debt-allowed debits of level-independent amounts commute
+// with taps feeding the same reserve, which the kernel's coarse
+// SettleAccounts ∩ active-taps test would refuse. When implemented it
+// replaces that test.
+type SettleGuardDevice interface {
+	SettleSafe() bool
 }
 
 // New builds a kernel and registers its periodic activities on a fresh
 // engine.
 func New(cfg Config) *Kernel {
+	k := &Kernel{}
+	k.init(cfg, false)
+	return k
+}
+
+// Reset reinitializes the kernel in place to the exact state New(cfg)
+// would produce, recycling the engine, the object table, the graph and
+// the scheduler instead of constructing fresh ones. Everything from the
+// previous life — reserves, taps, threads, gates, devices, events — is
+// forgotten; the caller must rebuild its world (and drop every old
+// handle) just as after New. The fleet runner recycles one kernel per
+// worker this way instead of building 100k object graphs.
+func (k *Kernel) Reset(cfg Config) { k.init(cfg, true) }
+
+func (k *Kernel) init(cfg Config, recycle bool) {
 	if cfg.Profile.Name == "" {
 		cfg.Profile = power.Dream()
 	}
@@ -238,30 +289,48 @@ func New(cfg Config) *Kernel {
 	if cfg.TapBatch == 0 {
 		cfg.TapBatch = DefaultTapBatch
 	}
-	eng := sim.NewEngineMode(cfg.Seed, cfg.EngineMode)
-	tbl := kobj.NewTable()
-	root := kobj.NewContainer(tbl, nil, "root", label.Public())
-
-	k := &Kernel{
-		Eng:       eng,
-		Table:     tbl,
-		Root:      root,
-		Profile:   cfg.Profile,
-		billing:   cfg.Billing,
-		gates:     make(map[string]*Gate),
-		nextCat:   2, // category 1 is the kernel's
-		backlight: cfg.BacklightOn,
+	if recycle {
+		k.Eng.Reset(cfg.Seed, cfg.EngineMode)
+		k.Table.Reset()
+	} else {
+		k.Eng = sim.NewEngineMode(cfg.Seed, cfg.EngineMode)
+		k.Table = kobj.NewTable()
 	}
+	eng := k.Eng
+	k.Root = kobj.NewContainer(k.Table, nil, "root", label.Public())
+	k.Profile = cfg.Profile
+	k.billing = cfg.Billing
+	if k.gates == nil {
+		k.gates = make(map[string]*Gate)
+	} else {
+		clear(k.gates)
+	}
+	k.nextCat = 2 // category 1 is the kernel's
+	k.backlight = cfg.BacklightOn
 	k.sysCategory = 1
 	k.kpriv = label.NewPriv(k.sysCategory).WithClearance(label.Level3)
+	k.baseCarry = 0
+	clear(k.devices)
+	k.devices = k.devices[:0]
+	k.baselinePending = 0
+	k.lastSchedAt = 0
+	k.tapsPending = 0
+	k.devicesPending = 0
+	k.billBaselineFn = k.billBaselineBatches
 
 	batteryLabel := label.Public().With(k.sysCategory, label.Level2)
-	k.Graph = core.NewGraph(tbl, root, batteryLabel, core.Config{
+	graphCfg := core.Config{
 		BatteryCapacity: cfg.BatteryCapacity,
 		DecayHalfLife:   cfg.DecayHalfLife,
 		StrictHoarding:  cfg.StrictHoarding,
-	})
-	k.Sched = sched.New(tbl, cfg.Profile.CPUActive)
+	}
+	if recycle {
+		k.Graph.Reset(k.Table, k.Root, batteryLabel, graphCfg)
+		k.Sched.Reset(cfg.Profile.CPUActive)
+	} else {
+		k.Graph = core.NewGraph(k.Table, k.Root, batteryLabel, graphCfg)
+		k.Sched = sched.New(k.Table, cfg.Profile.CPUActive)
+	}
 
 	settle := cfg.Settle
 	if settle == SettleAuto {
@@ -311,20 +380,19 @@ func New(cfg Config) *Kernel {
 		})
 	}
 	if eng.Mode() == sim.ModeNextEvent {
-		eng.SetAdvanceHook(k.syncAt)
+		eng.SetAdvanceHook(k.syncAtAdvance)
 		k.Sched.SetActivityHook(k.resumeKernelTasks)
 		k.Graph.SetTapActivityHook(k.resumeKernelTasks)
 	}
-	return k
 }
 
 // devicesQuiescent reports whether every registered device declares its
 // ticks to currently be no-ops. Devices not implementing
 // QuiescentDevice are assumed always-active.
 func (k *Kernel) devicesQuiescent() bool {
-	for _, d := range k.devices {
-		q, ok := d.(QuiescentDevice)
-		if !ok || !q.Quiescent() {
+	for i := range k.devices {
+		q := k.devices[i].quiescent
+		if q == nil || !q.Quiescent() {
 			return false
 		}
 	}
@@ -395,6 +463,78 @@ func (k *Kernel) resumeKernelTasks() {
 	}
 }
 
+// syncAtAdvance is the advance-hook flavour of syncAt: it first tries
+// the fast boundary path, which handles the common quiescent instant —
+// no event due, scheduler parked, devices quiescent or settleable — in
+// one settlement call instead of resuming, firing and re-parking the
+// three boundary tasks. Direct syncAt callers (SetBacklight, about to
+// change a rate themselves) must not take the fast path: it performs
+// boundary work at pre-event rates, which is only exact when nothing at
+// the instant can change them.
+func (k *Kernel) syncAtAdvance(now units.Time) {
+	if k.lazySettle && k.fastBoundary(now) {
+		return
+	}
+	k.syncAt(now)
+}
+
+// fastBoundary settles everything due up to and *including* now — the
+// work syncAt would split into a strictly-before settlement plus the
+// boundary-at-now task dance — and reports whether it did. It is exact
+// only when nothing executing at this instant can affect that work:
+//
+//   - no pending event fires here (events may change rates, and
+//     boundary work must run at post-event rates);
+//   - the scheduler task is not due (a scheduled thread runs before the
+//     tap/baseline slots and may change rates; the kernel's tasks are
+//     registered first, so nothing else precedes them);
+//   - every device is quiescent or settleable, so the device boundary
+//     tick telescopes like the rest of the span;
+//   - the boundary tasks themselves are parked past now (always true
+//     under lazy settlement once each has fired once);
+//   - this is not a RunUntil entry instant, where rewindDue is about to
+//     re-arm the parked tasks for the Run-boundary re-step — settling
+//     through now as well would perform the boundary work twice.
+func (k *Kernel) fastBoundary(now units.Time) bool {
+	if k.taskDevices.NextDue() <= now || k.taskTaps.NextDue() <= now ||
+		k.taskBaseline.NextDue() <= now || k.taskSched.NextDue() <= now {
+		return false
+	}
+	eng := k.Eng
+	if eng.EntryInstant() || eng.PendingEventAt(now) {
+		return false
+	}
+	if !k.devicesQuiescent() && !k.devicesSettleable() {
+		return false
+	}
+	if k.devicesPending > now && k.tapsPending > now && k.baselinePending > now {
+		return true // nothing due through now
+	}
+	k.settleWindow(now, now, now)
+	return true
+}
+
+// settleWindow advances the pending cursors through their limits by the
+// cheapest exact strategy: with every device quiescent the device ticks
+// are no-ops, so no ordering proof is needed and SettleFlows /
+// billBaselineBatches self-guard their own clamping exactly; otherwise
+// the depletion horizon must clear the whole window before device
+// billing may be reordered against flows, and a window it cannot clear
+// replays instant by instant.
+func (k *Kernel) settleWindow(devLimit, flowLimit, baseLimit units.Time) {
+	if k.devicesQuiescent() {
+		k.settleDevices(devLimit)
+		k.settleBatches(flowLimit, baseLimit)
+		return
+	}
+	if !k.windowSafe(devLimit, flowLimit, baseLimit) {
+		k.replayWindow(devLimit, flowLimit, baseLimit)
+		return
+	}
+	k.settleDevices(devLimit)
+	k.settleBatches(flowLimit, baseLimit)
+}
+
 // syncAt is the engine's advance hook: it runs once per executed
 // instant, before any callback at that instant, and settles every tap
 // batch, baseline batch and device tick that came due while the
@@ -443,8 +583,8 @@ func syncLimit(now units.Time, t *sim.Task) units.Time {
 // so the three paths cannot drift apart.
 func (k *Kernel) fireDevices(now units.Time) {
 	tick := k.Eng.Tick()
-	for _, d := range k.devices {
-		d.DeviceTick(now, tick)
+	for i := range k.devices {
+		k.devices[i].dev.DeviceTick(now, tick)
 	}
 	if due := now + tick; due > k.devicesPending {
 		k.devicesPending = due
@@ -480,12 +620,7 @@ func (k *Kernel) syncPendingBefore(now units.Time) {
 	if k.devicesPending > devLimit && k.tapsPending > flowLimit && k.baselinePending > baseLimit {
 		return
 	}
-	if !k.windowSafe(devLimit, flowLimit, baseLimit) {
-		k.replayWindow(devLimit, flowLimit, baseLimit)
-		return
-	}
-	k.settleDevices(devLimit)
-	k.settleBatches(flowLimit, baseLimit)
+	k.settleWindow(devLimit, flowLimit, baseLimit)
 }
 
 // windowSafe reports whether the whole pending window is clamp-free
@@ -525,8 +660,8 @@ func (k *Kernel) settleDevices(devLimit units.Time) {
 		return
 	}
 	tick := k.Eng.Tick()
-	for _, d := range k.devices {
-		if s, ok := d.(SettleableDevice); ok {
+	for i := range k.devices {
+		if s := k.devices[i].settleable; s != nil {
 			s.SettleTicks(k.devicesPending, devLimit, tick)
 		}
 	}
@@ -549,9 +684,7 @@ func (k *Kernel) settleBatches(flowLimit, baseLimit units.Time) {
 			if nb := int64((baseLimit-bt)/k.tapBatch) + 1; nb < n {
 				n = nb
 			}
-			k.Graph.SettleFlows(k.tapBatch, n, k.baselinePower(), func(c int64) {
-				k.billBaselineBatches(c)
-			})
+			k.Graph.SettleFlows(k.tapBatch, n, k.baselinePower(), k.billBaselineFn)
 			d := units.Time(n) * k.tapBatch
 			k.tapsPending += d
 			k.baselinePending += d
@@ -599,15 +732,21 @@ func (k *Kernel) replayWindow(devLimit, flowLimit, baseLimit units.Time) {
 // reorders device billing against tap flows, which is only exact while
 // no active tap touches a device's private reserves.
 func (k *Kernel) devicesSettleable() bool {
-	for _, d := range k.devices {
-		if q, ok := d.(QuiescentDevice); ok && q.Quiescent() {
+	for i := range k.devices {
+		d := &k.devices[i]
+		if d.quiescent != nil && d.quiescent.Quiescent() {
 			continue
 		}
-		s, ok := d.(SettleableDevice)
-		if !ok {
+		if d.settleable == nil {
 			return false
 		}
-		for _, r := range s.SettleAccounts() {
+		if d.guard != nil {
+			if !d.guard.SettleSafe() {
+				return false
+			}
+			continue
+		}
+		for _, r := range d.accounts {
 			if k.Graph.ReserveTapped(r) {
 				return false
 			}
@@ -620,8 +759,8 @@ func (k *Kernel) devicesSettleable() bool {
 // the device share of the depletion-horizon budget.
 func (k *Kernel) devicesPeakDraw() units.Power {
 	var p units.Power
-	for _, d := range k.devices {
-		if s, ok := d.(SettleableDevice); ok {
+	for i := range k.devices {
+		if s := k.devices[i].settleable; s != nil {
 			p += s.PeakDraw()
 		}
 	}
@@ -750,11 +889,22 @@ func (k *Kernel) NewCategory() label.Category {
 	return c
 }
 
-// AddDevice registers a peripheral for per-tick callbacks. Devices that
-// can leave quiescence asynchronously (the radio, on a Send scheduled
-// from an event) are subscribed to the kernel's resume hook.
+// AddDevice registers a peripheral for per-tick callbacks, asserting
+// its optional capabilities (quiescence, closed-form settlement) once so
+// the per-instant checks do no dynamic type tests. Devices that can
+// leave quiescence asynchronously (the radio, on a Send scheduled from
+// an event) are subscribed to the kernel's resume hook.
 func (k *Kernel) AddDevice(d Device) {
-	k.devices = append(k.devices, d)
+	e := deviceEntry{dev: d}
+	e.quiescent, _ = d.(QuiescentDevice)
+	if s, ok := d.(SettleableDevice); ok {
+		e.settleable = s
+		e.guard, _ = d.(SettleGuardDevice)
+		if e.guard == nil {
+			e.accounts = s.SettleAccounts()
+		}
+	}
+	k.devices = append(k.devices, e)
 	if n, ok := d.(deviceActivityNotifier); ok {
 		n.SetActivityHook(k.resumeKernelTasks)
 	}

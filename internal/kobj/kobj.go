@@ -131,6 +131,16 @@ func NewTable() *Table {
 	}
 }
 
+// Reset empties the table in place, reusing its maps, so ID allocation
+// restarts at 1 exactly as in a fresh table. No release hooks run: the
+// caller is discarding the entire previous object population at once
+// (the fleet runner recycling a kernel), not deallocating objects.
+func (t *Table) Reset() {
+	t.next = 1
+	clear(t.objs)
+	clear(t.parent)
+}
+
 // Register assigns an ID to the object, initializes its Base, and files
 // it in the given container. The container may be nil only for the root
 // container itself.

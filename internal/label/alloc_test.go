@@ -1,0 +1,36 @@
+package label
+
+import "testing"
+
+// TestChecksZeroAllocs guards the label checks on the reserve fast
+// path: CanUse/CanModify/CanObserve run on every consume and debit and
+// must not allocate (flat sorted reps on both sides, no map hashing).
+func TestChecksZeroAllocs(t *testing.T) {
+	priv := NewPriv(3).WithClearance(Level3)
+	lbl := Public().With(3, Level2).With(9, Level0)
+	pub := Public()
+	if n := testing.AllocsPerRun(500, func() {
+		if !priv.CanUse(lbl) || !priv.CanObserve(lbl) || !priv.CanUse(pub) {
+			t.Fatal("expected checks to pass")
+		}
+		if (Priv{}).CanModify(lbl) {
+			t.Fatal("unprivileged modify of protected label")
+		}
+	}); n != 0 {
+		t.Fatalf("label checks allocate %v times per run, want 0", n)
+	}
+}
+
+// BenchmarkSteadyLabelCanUse: the per-consume access check; CI-guarded
+// to 0 B/op.
+func BenchmarkSteadyLabelCanUse(b *testing.B) {
+	priv := NewPriv(3).WithClearance(Level3)
+	lbl := Public().With(3, Level2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !priv.CanUse(lbl) {
+			b.Fatal("check failed")
+		}
+	}
+}

@@ -163,8 +163,13 @@ func (l Label) String() string {
 // Priv is a thread's privilege set: the categories it owns (★) plus its
 // clearance level. The zero value owns nothing and has the default
 // clearance, which suffices to use public objects.
+//
+// Owned categories live in a small sorted slice rather than a map:
+// privilege sets are tiny (0–2 categories) and Owns runs inside
+// CanModify on every reserve debit, where the flat scan beats map
+// hashing and keeps the check allocation-free.
 type Priv struct {
-	owned        map[Category]bool
+	owned        []Category // sorted, deduplicated
 	clearance    Level
 	clearanceSet bool
 }
@@ -173,13 +178,29 @@ type Priv struct {
 // clearance DefaultLevel.
 func NewPriv(owned ...Category) Priv {
 	p := Priv{clearance: DefaultLevel, clearanceSet: true}
-	if len(owned) > 0 {
-		p.owned = make(map[Category]bool, len(owned))
-		for _, c := range owned {
-			p.owned[c] = true
-		}
-	}
+	p.owned = insertOwned(nil, owned...)
 	return p
+}
+
+// insertOwned merges categories into a sorted deduplicated slice,
+// always returning fresh backing (Priv values must never share mutable
+// state with their parents).
+func insertOwned(base []Category, cs ...Category) []Category {
+	if len(base) == 0 && len(cs) == 0 {
+		return nil
+	}
+	out := make([]Category, len(base), len(base)+len(cs))
+	copy(out, base)
+	for _, c := range cs {
+		i := sort.Search(len(out), func(i int) bool { return out[i] >= c })
+		if i < len(out) && out[i] == c {
+			continue
+		}
+		out = append(out, 0)
+		copy(out[i+1:], out[i:])
+		out[i] = c
+	}
+	return out
 }
 
 // WithClearance returns a copy of the privilege set with the given
@@ -196,14 +217,11 @@ func (p Priv) WithClearance(lv Level) Priv {
 
 // WithOwned returns a copy that additionally owns the given categories.
 func (p Priv) WithOwned(cs ...Category) Priv {
-	q := p.clone()
-	if q.owned == nil {
-		q.owned = make(map[Category]bool, len(cs))
+	return Priv{
+		owned:        insertOwned(p.owned, cs...),
+		clearance:    p.clearance,
+		clearanceSet: p.clearanceSet,
 	}
-	for _, c := range cs {
-		q.owned[c] = true
-	}
-	return q
 }
 
 // Union returns a privilege set owning everything either set owns, with
@@ -211,12 +229,10 @@ func (p Priv) WithOwned(cs ...Category) Priv {
 // privileges combining with its creator's (§3.5: "taps can have
 // privileges embedded in them").
 func (p Priv) Union(o Priv) Priv {
-	q := p.clone()
-	if q.owned == nil && len(o.owned) > 0 {
-		q.owned = make(map[Category]bool, len(o.owned))
-	}
-	for c := range o.owned {
-		q.owned[c] = true
+	q := Priv{
+		owned:        insertOwned(p.owned, o.owned...),
+		clearance:    p.clearance,
+		clearanceSet: p.clearanceSet,
 	}
 	if o.Clearance() > q.Clearance() {
 		q.clearance = o.Clearance()
@@ -227,17 +243,24 @@ func (p Priv) Union(o Priv) Priv {
 
 func (p Priv) clone() Priv {
 	q := Priv{clearance: p.clearance, clearanceSet: p.clearanceSet}
-	if len(p.owned) > 0 {
-		q.owned = make(map[Category]bool, len(p.owned))
-		for c := range p.owned {
-			q.owned[c] = true
-		}
-	}
+	q.owned = insertOwned(p.owned)
 	return q
 }
 
-// Owns reports whether the set owns category c.
-func (p Priv) Owns(c Category) bool { return p.owned[c] }
+// Owns reports whether the set owns category c. Privilege sets hold at
+// most a handful of categories, so the linear scan is faster than any
+// hashed lookup and never allocates.
+func (p Priv) Owns(c Category) bool {
+	for _, o := range p.owned {
+		if o == c {
+			return true
+		}
+		if o > c {
+			return false
+		}
+	}
+	return false
+}
 
 // Clearance returns the clearance level. A privilege set whose clearance
 // was never set explicitly (including the zero value) has DefaultLevel.
@@ -248,13 +271,10 @@ func (p Priv) Clearance() Level {
 	return p.clearance
 }
 
-// Owned returns the owned categories, sorted.
+// Owned returns a copy of the owned categories, sorted.
 func (p Priv) Owned() []Category {
-	cs := make([]Category, 0, len(p.owned))
-	for c := range p.owned {
-		cs = append(cs, c)
-	}
-	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	cs := make([]Category, len(p.owned))
+	copy(cs, p.owned)
 	return cs
 }
 

@@ -318,3 +318,72 @@ func TestBatteryPercentDropsAsSystemRuns(t *testing.T) {
 		}
 	}
 }
+
+// TestSharedReserveCallPlusGPSSettleEquivalence locks in the
+// SettleSafe refusal for the one interleaving-sensitive case: a voice
+// call and the GPS engine simultaneously billing the *same*
+// debt-refusing reserve. Once the level cannot cover both totals,
+// DeviceTick's per-tick interleaving splits the spill-to-battery
+// between the two draws in a way sequential per-stream telescoping
+// cannot reproduce — so closed-form settlement must replay this case
+// per tick, and every accounting figure must match the per-batch
+// engine exactly.
+func TestSharedReserveCallPlusGPSSettleEquivalence(t *testing.T) {
+	type outcome struct {
+		consumed units.Energy
+		battery  units.Energy
+		stats    core.Accounting
+		calls    int64
+		fixes    int64
+	}
+	run := func(settle kernel.SettleMode) outcome {
+		k := kernel.New(kernel.Config{Seed: 8, DecayHalfLife: -1, Settle: settle})
+		d, err := NewSmdd(k, DefaultSmddConfig(), DefaultARM9Config())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Debt-refusing shared reserve, funded for a few seconds of the
+		// combined 950 mW draw so both streams starve mid-run.
+		res := k.CreateReserve(k.Root, "shared", label.Public())
+		if err := k.Graph.Transfer(k.KernelPriv(), k.Battery(), res, 3*units.Joule); err != nil {
+			t.Fatal(err)
+		}
+		ran := false
+		k.Spawn(k.Root, "app", label.Priv{}, sched.RunnerFunc(
+			func(now units.Time, th *sched.Thread) {
+				if ran {
+					th.Exit()
+					return
+				}
+				ran = true
+				if _, err := k.GateCall(GateDial, th, DialRequest{Number: "555"}); err != nil {
+					t.Errorf("dial: %v", err)
+				}
+				th.Wake() // the dial gate blocks; keep stepping to start GPS too
+				if _, err := k.GateCall(GateGPS, th, GPSRequest{Start: true}); err != nil {
+					t.Errorf("gps: %v", err)
+				}
+			}), res)
+		k.Run(20 * units.Second)
+		if d.arm9.CallStateNow() != CallActive || !d.arm9.GPSOn() {
+			t.Fatalf("settle=%v: call %v gps %v, want both active",
+				settle, d.arm9.CallStateNow(), d.arm9.GPSOn())
+		}
+		st, err := res.Stats(k.KernelPriv())
+		if err != nil {
+			t.Fatal(err)
+		}
+		lvl, err := k.Battery().Level(k.KernelPriv())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := d.Stats()
+		return outcome{k.Consumed(), lvl, st, s.CallsPlaced, s.GPSFixes}
+	}
+	closed := run(kernel.SettleClosedForm)
+	batch := run(kernel.SettlePerBatch)
+	if closed != batch {
+		t.Fatalf("closed-form settlement diverges on a shared non-debt reserve:\n%+v\nvs per-batch\n%+v",
+			closed, batch)
+	}
+}

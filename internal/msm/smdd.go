@@ -360,3 +360,125 @@ func (d *Smdd) billPeripheral(e units.Energy, bill *core.Reserve, p label.Priv) 
 	}
 	_ = d.k.Battery().Consume(d.k.KernelPriv(), e)
 }
+
+// Closed-form settlement (kernel.SettleableDevice / SettleGuardDevice):
+// between executed instants the baseband's continuous draws are fully
+// determined — call state and GPS power change only from gate calls and
+// ARM9 events, which happen at executed instants after settlement has
+// caught up — so a span of skipped ticks is n identical constant-power
+// billings whose carry arithmetic telescopes into one debit.
+//
+// Exactness against tap flows needs care because smdd bills whichever
+// reserve the requesting thread used, and that reserve is typically fed
+// by a live tap (the dialer's 1 W funding tap). SettleSafe holds the
+// commutation argument: a debt-allowed DebitSelf of a level-independent
+// amount commutes with tap credits into the same reserve (both are
+// unconditional integer additions; nothing reads the level in between),
+// so reordering device billing before the window's flow batches is
+// exact provided no active tap *drains* the billing reserve (a draining
+// tap clamps to — and a proportional one reads — the source level).
+// Reserves that refuse debt are settleable only while untapped; then
+// settleSpan falls back to tick-by-tick replay whenever the level
+// cannot cover a whole span, preserving the exact spill-to-battery
+// sequence of a per-tick run.
+
+// PeakDraw bounds smdd's per-tick draw: a voice call and the GPS engine
+// drawing simultaneously. The kernel budgets it against the battery's
+// depletion horizon before settling a span in closed form (pessimistic:
+// draw billed to an app reserve instead only leaves the battery fuller).
+func (d *Smdd) PeakDraw() units.Power {
+	return d.cfg.CallExtraPower + d.cfg.GPSExtraPower
+}
+
+// SettleAccounts implements kernel.SettleableDevice. Smdd's billing
+// targets vary per call/session, so the static account list is empty
+// and SettleSafe (the SettleGuardDevice refinement) supersedes it.
+func (d *Smdd) SettleAccounts() []*core.Reserve { return nil }
+
+// SettleSafe implements kernel.SettleGuardDevice: it reports whether
+// the currently active billing targets commute with tap flows (see the
+// commutation argument above).
+func (d *Smdd) SettleSafe() bool {
+	callOn := d.arm9.CallStateNow() == CallActive
+	gpsOn := d.arm9.GPSOn()
+	if callOn && !d.billSettleSafe(d.callBill, d.callPriv) {
+		return false
+	}
+	if gpsOn && !d.billSettleSafe(d.gpsBill, d.gpsPriv) {
+		return false
+	}
+	if callOn && gpsOn && d.callBill != nil && d.callBill == d.gpsBill &&
+		!d.callBill.Dead() && !d.callBill.AllowDebt() {
+		// Both draws bill one debt-refusing reserve: DeviceTick
+		// interleaves them per tick, so once the level cannot cover both
+		// totals the spill splits between the streams differently than
+		// SettleTicks' sequential per-stream telescoping would attribute
+		// it. Replay per tick instead.
+		return false
+	}
+	return true
+}
+
+func (d *Smdd) billSettleSafe(bill *core.Reserve, p label.Priv) bool {
+	if bill == nil || bill.Dead() {
+		return true // pure battery path, clamp-guarded by the horizon
+	}
+	if !p.CanUse(bill.Label()) {
+		return true // every tick deterministically falls through to the battery
+	}
+	g := d.k.Graph
+	if g.ReserveDrainedByTap(bill) {
+		return false
+	}
+	if bill.AllowDebt() {
+		return true
+	}
+	// Without debt a debit can clamp on the level, whose trajectory then
+	// depends on interleaved tap credits: exact only while untapped.
+	return !g.ReserveTapped(bill)
+}
+
+// SettleTicks implements kernel.SettleableDevice: exactly the
+// DeviceTick calls the parked device task skipped, one per tick instant
+// from `from` through `to` inclusive, telescoped per continuous draw.
+func (d *Smdd) SettleTicks(from, to, dt units.Time) {
+	n := int64((to-from)/dt) + 1
+	if to < from || n <= 0 {
+		return
+	}
+	if d.arm9.CallStateNow() == CallActive {
+		d.callCarry = d.settleSpan(n, dt, d.cfg.CallExtraPower, d.callCarry, d.callBill, d.callPriv)
+	}
+	if d.arm9.GPSOn() {
+		d.gpsCarry = d.settleSpan(n, dt, d.cfg.GPSExtraPower, d.gpsCarry, d.gpsBill, d.gpsPriv)
+	}
+}
+
+// settleSpan bills n ticks of constant extra power in one telescoped
+// debit when the target can cover (or owe) the total, or tick by tick
+// when it cannot, so the exact instant billing spills to Consume or the
+// battery matches a per-tick run. It returns the updated carry.
+func (d *Smdd) settleSpan(n int64, dt units.Time, p units.Power, carry int64, bill *core.Reserve, priv label.Priv) int64 {
+	total := int64(p)*int64(dt)*n + carry
+	e := units.Energy(total / 1000)
+	if e <= 0 {
+		return total % 1000
+	}
+	if bill != nil && !bill.Dead() {
+		if bill.CanDebitSelf(priv, e) {
+			_ = bill.DebitSelf(priv, e)
+			return total % 1000
+		}
+		for i := int64(0); i < n; i++ {
+			var ei units.Energy
+			ei, carry = p.OverRem(dt, carry)
+			d.billPeripheral(ei, bill, priv)
+		}
+		return carry
+	}
+	_ = d.k.Battery().Consume(d.k.KernelPriv(), e)
+	return total % 1000
+}
+
+var _ kernel.SettleableDevice = (*Smdd)(nil)
+var _ kernel.SettleGuardDevice = (*Smdd)(nil)

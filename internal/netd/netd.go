@@ -127,13 +127,25 @@ type Netd struct {
 // New creates netd, its pooled reserve (decay-exempt: §5.5.2 trusts
 // netd not to hoard), and registers its gate on the kernel.
 func New(k *kernel.Kernel, r *radio.Radio, cfg Config) (*Netd, error) {
+	n := &Netd{}
+	if err := n.Reset(k, r, cfg); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Reset reinitializes the daemon in place to the exact state New would
+// produce against the given (typically recycled) kernel: fresh category,
+// container, pool, gate and sweep task, all counters zero. The fleet
+// runner recycles one netd per worker this way.
+func (n *Netd) Reset(k *kernel.Kernel, r *radio.Radio, cfg Config) error {
 	if cfg.ThresholdPct == 0 {
 		cfg.ThresholdPct = DefaultThresholdPct
 	}
 	if cfg.SweepPeriod == 0 {
 		cfg.SweepPeriod = DefaultSweepPeriod
 	}
-	n := &Netd{k: k, radio: r, cfg: cfg}
+	n.k, n.radio, n.cfg = k, r, cfg
 	n.cat = k.NewCategory()
 	n.priv = label.NewPriv(n.cat)
 	n.container = kobj.NewContainer(k.Table, k.Root, "netd", label.Public())
@@ -141,15 +153,22 @@ func New(k *kernel.Kernel, r *radio.Radio, cfg Config) (*Netd, error) {
 	n.pool = k.CreateReserveOpts(n.container, "netd-pool", poolLabel, core.ReserveOpts{
 		DecayExempt: true,
 	})
-	n.poolTrace = trace.NewSeries("netd-pool", "µJ")
+	clear(n.waiters)
+	n.waiters = n.waiters[:0]
+	n.stats = Stats{}
+	if n.poolTrace == nil {
+		n.poolTrace = trace.NewSeries("netd-pool", "µJ")
+	} else {
+		n.poolTrace.Reset("netd-pool", "µJ")
+	}
 
 	_, err := k.RegisterGate(n.container, GateName, label.Public(), n.priv, n.pool,
 		func(call *kernel.Call) (any, error) { return nil, n.handlePoll(call) })
 	if err != nil {
-		return nil, fmt.Errorf("netd: %w", err)
+		return fmt.Errorf("netd: %w", err)
 	}
 	n.sweepTask = k.Eng.Every("netd:sweep", cfg.SweepPeriod, func(e *sim.Engine) { n.sweep(e.Now()) })
-	return n, nil
+	return nil
 }
 
 // Pool returns netd's pooled reserve (observable by anyone; Fig. 14

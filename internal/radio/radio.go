@@ -109,9 +109,12 @@ type Radio struct {
 
 	// fund is the reserve radio draw is billed to first; netd pre-pays
 	// activation cost into it. Falls back to the battery.
-	fund  *core.Reserve
-	priv  label.Priv
-	stats Stats
+	fund *core.Reserve
+	// accounts is the cached SettleAccounts result ({fund}), so the
+	// kernel's per-instant settleability check allocates nothing.
+	accounts [1]*core.Reserve
+	priv     label.Priv
+	stats    Stats
 	// states records transitions for active-time analysis (Fig. 13).
 	states *trace.Series
 	// episodeStart snapshots cumulative above-baseline energy at
@@ -126,22 +129,39 @@ type Radio struct {
 // New creates a radio whose funding reserve lives under parent. priv
 // must be able to use the battery (the radio is a kernel-side device).
 func New(eng *sim.Engine, g *core.Graph, parent *kobj.Container, priv label.Priv, cfg Config) *Radio {
+	r := &Radio{states: trace.NewSeries("radio-state", "state")}
+	r.Reset(eng, g, parent, priv, cfg)
+	return r
+}
+
+// Reset reinitializes the radio in place to the exact state New would
+// produce — a fresh funding reserve in the given (typically recycled)
+// graph, the state machine asleep, all counters zero — reusing the
+// state-trace backing array. The fleet runner recycles one radio per
+// worker this way.
+func (r *Radio) Reset(eng *sim.Engine, g *core.Graph, parent *kobj.Container, priv label.Priv, cfg Config) {
 	if cfg.RTT == 0 {
 		cfg.RTT = 200 * units.Millisecond
 	}
-	r := &Radio{
-		eng:          eng,
-		graph:        g,
-		profile:      cfg.Profile,
-		jitter:       cfg.Jitter,
-		rtt:          cfg.RTT,
-		priv:         priv,
-		plateauScale: 1024,
-		states:       trace.NewSeries("radio-state", "state"),
-	}
+	r.eng = eng
+	r.graph = g
+	r.profile = cfg.Profile
+	r.jitter = cfg.Jitter
+	r.rtt = cfg.RTT
+	r.state = Sleep
+	r.rampEnd = 0
+	r.lastActivity = 0
+	r.plateauScale = 1024
+	r.carry = 0
+	r.priv = priv
+	r.stats = Stats{}
+	r.episodeStart = 0
+	r.onEpisode = nil
+	r.onActivity = nil
+	r.states.Reset("radio-state", "state")
 	r.fund = g.NewReserve(parent, "radio-fund", label.Public(), core.ReserveOpts{DecayExempt: true})
+	r.accounts[0] = r.fund
 	r.states.Add(eng.Now(), int64(Sleep))
-	return r
 }
 
 // FundingReserve returns the reserve radio power is billed against.
@@ -395,8 +415,9 @@ func (r *Radio) PeakDraw() units.Power {
 
 // SettleAccounts lists the radio's private billing reserves (the funding
 // pool). Closed-form settlement reorders device billing against tap
-// flows, which is only exact while no active tap touches these.
-func (r *Radio) SettleAccounts() []*core.Reserve { return []*core.Reserve{r.fund} }
+// flows, which is only exact while no active tap touches these. The
+// returned slice is cached — callers must treat it as read-only.
+func (r *Radio) SettleAccounts() []*core.Reserve { return r.accounts[:] }
 
 // SettleTicks performs, in closed form, exactly the DeviceTick calls the
 // kernel skipped while its device task was parked: one per tick instant

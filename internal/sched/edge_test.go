@@ -119,6 +119,18 @@ func TestThreadsAccessor(t *testing.T) {
 	if len(ths) != 2 || ths[0] != a || ths[1] != b {
 		t.Fatalf("Threads = %v", ths)
 	}
+	// EachThread visits the same sequence without copying, and must not
+	// allocate — it exists for hot-ish diagnostic paths.
+	var seen []*Thread
+	r.sched.EachThread(func(th *Thread) { seen = append(seen, th) })
+	if len(seen) != 2 || seen[0] != a || seen[1] != b {
+		t.Fatalf("EachThread = %v", seen)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		r.sched.EachThread(func(*Thread) {})
+	}); n != 0 {
+		t.Fatalf("EachThread allocates %v times, want 0", n)
+	}
 }
 
 func TestRoundRobinSkipsSleepersWithoutCharge(t *testing.T) {

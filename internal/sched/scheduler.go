@@ -37,6 +37,23 @@ func New(table *kobj.Table, cpuPower units.Power) *Scheduler {
 	return &Scheduler{table: table, cpuPower: cpuPower}
 }
 
+// Reset reinitializes the scheduler in place to the state New would
+// produce, keeping the thread list's backing array. All threads of the
+// previous life are forgotten; the caller discards them wholesale (the
+// fleet runner recycling a kernel).
+func (s *Scheduler) Reset(cpuPower units.Power) {
+	s.cpuPower = cpuPower
+	clear(s.threads)
+	s.threads = s.threads[:0]
+	s.rr = 0
+	s.runnable = 0
+	s.onActivity = nil
+	s.busyTicks = 0
+	s.idleTicks = 0
+	s.costCarryDT = 0
+	s.tickCost = 0
+}
+
 // CPUPower returns the active CPU power being billed.
 func (s *Scheduler) CPUPower() units.Power { return s.cpuPower }
 
@@ -101,11 +118,21 @@ func (s *Scheduler) AddIdleTicks(n int64) {
 	}
 }
 
-// Threads returns the scheduler's threads in creation order.
+// Threads returns a copy of the scheduler's threads in creation order.
+// Iteration-only callers should prefer EachThread, which does not
+// allocate.
 func (s *Scheduler) Threads() []*Thread {
 	out := make([]*Thread, len(s.threads))
 	copy(out, s.threads)
 	return out
+}
+
+// EachThread calls fn for every thread in creation order without
+// allocating. fn must not create threads.
+func (s *Scheduler) EachThread(fn func(*Thread)) {
+	for _, t := range s.threads {
+		fn(t)
+	}
 }
 
 // Tick advances the scheduler by one quantum of length dt at simulated

@@ -224,6 +224,18 @@ type Engine struct {
 	// deferred accounting (baseline idle billing) so every observer at
 	// the instant sees fully up-to-date state.
 	advanceHook func(now units.Time)
+	// freeEvents is the fired-event freelist: step returns each event
+	// here after its callback runs, and At reuses them, so steady-state
+	// event scheduling allocates nothing. Cancelled events are not
+	// recycled (Cancel is a rare, test-only path) so a double Cancel can
+	// never free an event a later At has re-armed.
+	freeEvents []*Event
+	// freeTasks is the Reset-time task freelist; see Reset.
+	freeTasks []*Task
+	// entry marks the advance-hook invocation at a RunUntil entry
+	// instant, whose due tasks rewindDue is about to re-arm (see
+	// EntryInstant).
+	entry bool
 }
 
 // NewEngine returns an engine at time zero with the default 1 ms tick,
@@ -242,6 +254,39 @@ func NewEngineMode(seed int64, mode Mode) *Engine {
 		mode: mode,
 		rng:  rand.New(rand.NewSource(seed)),
 	}
+}
+
+// Reset reinitializes the engine in place to the exact state
+// NewEngineMode(seed, mode) would produce, recycling the event heap,
+// the task list and their element objects. The fleet runner reuses one
+// engine per worker this way. Every *Event and *Task handed out during
+// the previous life is invalidated: pending events move to the
+// freelist and task objects are reused by subsequent Every calls, so
+// callers must drop all of them alongside the Reset.
+func (e *Engine) Reset(seed int64, mode Mode) {
+	if mode == ModeAuto {
+		mode = DefaultMode()
+	}
+	for _, ev := range e.events {
+		ev.Fn = nil
+		ev.index = -1
+		e.freeEvents = append(e.freeEvents, ev)
+	}
+	e.events = e.events[:0]
+	for i, t := range e.tasks {
+		*t = Task{}
+		e.freeTasks = append(e.freeTasks, t)
+		e.tasks[i] = nil
+	}
+	e.tasks = e.tasks[:0]
+	e.now = 0
+	e.mode = mode
+	e.seq = 0
+	e.steps = 0
+	e.stopRequested = false
+	e.tasksDirty = false
+	e.advanceHook = nil
+	e.rng.Seed(seed)
 }
 
 // Now returns the current simulated time.
@@ -266,12 +311,22 @@ func (e *Engine) SetAdvanceHook(fn func(now units.Time)) { e.advanceHook = fn }
 func (e *Engine) Stop() { e.stopRequested = true }
 
 // At schedules fn to run at the given absolute simulated time, which must
-// not be in the past. It returns the event so callers may Cancel it.
+// not be in the past. It returns the event so callers may Cancel it. The
+// returned pointer is valid for Cancel only while the event is pending:
+// once it fires, the engine recycles the object for a later At.
 func (e *Engine) At(t units.Time, fn func(e *Engine)) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", t, e.now))
 	}
-	ev := &Event{At: t, Fn: fn, seq: e.seq}
+	var ev *Event
+	if n := len(e.freeEvents); n > 0 {
+		ev = e.freeEvents[n-1]
+		e.freeEvents[n-1] = nil
+		e.freeEvents = e.freeEvents[:n-1]
+		ev.At, ev.Fn, ev.seq = t, fn, e.seq
+	} else {
+		ev = &Event{At: t, Fn: fn, seq: e.seq}
+	}
 	e.seq++
 	heap.Push(&e.events, ev)
 	return ev
@@ -285,8 +340,11 @@ func (e *Engine) After(d units.Time, fn func(e *Engine)) *Event {
 	return e.At(e.now+d, fn)
 }
 
-// Cancel removes a pending event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// Cancel removes a pending event. Cancelling an already-cancelled event
+// is a no-op, as is cancelling an already-fired one — provided the
+// caller has not let the pointer go stale past a later At, which may
+// have recycled the fired object (see At). Cancelled events are dropped,
+// not recycled, so repeated Cancel calls on the same pointer stay safe.
 func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.index < 0 {
 		return
@@ -310,7 +368,15 @@ func (e *Engine) EveryPhased(name string, period, phase units.Time, fn func(e *E
 	if phase < 0 || phase%e.tick != 0 {
 		panic(fmt.Sprintf("sim: task %q phase %v is not a non-negative multiple of tick %v", name, phase, e.tick))
 	}
-	t := &Task{Name: name, Period: period, Phase: phase, Fn: fn, eng: e}
+	var t *Task
+	if n := len(e.freeTasks); n > 0 {
+		t = e.freeTasks[n-1]
+		e.freeTasks[n-1] = nil
+		e.freeTasks = e.freeTasks[:n-1]
+	} else {
+		t = &Task{}
+	}
+	*t = Task{Name: name, Period: period, Phase: phase, Fn: fn, eng: e}
 	t.nextDue = firstDueAt(period, phase, e.now)
 	e.tasks = append(e.tasks, t)
 	return t
@@ -331,7 +397,9 @@ func (e *Engine) RunUntil(end units.Time) units.Time {
 	}
 	e.stopRequested = false
 	if e.advanceHook != nil {
+		e.entry = true
 		e.advanceHook(e.now)
+		e.entry = false
 	}
 	e.rewindDue()
 	for {
@@ -426,7 +494,13 @@ func (e *Engine) step() {
 	for len(e.events) > 0 && e.events[0].At <= e.now {
 		ev := heap.Pop(&e.events).(*Event)
 		ev.index = -1
-		ev.Fn(e)
+		fn := ev.Fn
+		// Recycle before invoking: the callback may itself schedule
+		// events, and handing it the just-fired object keeps the
+		// steady-state event churn allocation-free.
+		ev.Fn = nil
+		e.freeEvents = append(e.freeEvents, ev)
+		fn(e)
 	}
 	n := len(e.tasks)
 	for i := 0; i < n; i++ {
@@ -482,6 +556,21 @@ func (e *Engine) Tasks() int { return len(e.tasks) }
 
 // PendingEvents reports the number of one-shot events not yet fired.
 func (e *Engine) PendingEvents() int { return len(e.events) }
+
+// PendingEventAt reports whether a pending event is due at or before t.
+// Called from an advance hook, it tells the hook whether the coming
+// step's event phase will run any callback — the kernel's fast boundary
+// path requires that it will not.
+func (e *Engine) PendingEventAt(t units.Time) bool {
+	return len(e.events) > 0 && e.events[0].At <= t
+}
+
+// EntryInstant reports whether the current advance-hook invocation is
+// the one at a RunUntil entry instant, where rewindDue is about to
+// re-arm tasks due on their period grid (the Run-boundary re-step).
+// Work due exactly at such an instant must be left to the re-armed
+// tasks, not settled by the hook, or it would be performed twice.
+func (e *Engine) EntryInstant() bool { return e.entry }
 
 // eventHeap orders events by (At, seq).
 type eventHeap []*Event

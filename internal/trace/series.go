@@ -31,6 +31,15 @@ func NewSeries(name, unit string) *Series {
 	return &Series{name: name, unit: unit}
 }
 
+// Reset empties the series in place, keeping its backing array, so a
+// recycled producer (the fleet runner reusing a radio) starts from the
+// state NewSeries would produce.
+func (s *Series) Reset(name, unit string) {
+	s.name = name
+	s.unit = unit
+	s.points = s.points[:0]
+}
+
 // Name returns the series name.
 func (s *Series) Name() string { return s.name }
 
