@@ -3,7 +3,8 @@
 // pool, each with a deterministically derived seed, and the aggregate
 // battery-life / consumed-energy / utilization statistics are printed.
 // For a fixed fleet seed the output is byte-identical regardless of
-// worker count.
+// worker count, shard count, or checkpoint/resume interruptions. The
+// JSON report schema is documented in docs/fleet-report.md.
 //
 // Usage:
 //
@@ -11,6 +12,13 @@
 //	cinder-fleet -devices 200 -scenario idle -battery-j 100 -per-device
 //	cinder-fleet -devices 1000 -duration 24h -scenario dayinthelife -json
 //	cinder-fleet -devices 500 -scenario dayinthelife -duration 24h -sweep battery-j=15000,30000,60000
+//
+// Week-scale runs: checkpoint/resume and sharding.
+//
+//	cinder-fleet -devices 1000000 -duration 168h -scenario weekinthelife -checkpoint-dir ckpt
+//	cinder-fleet -devices 1000000 -duration 168h -scenario weekinthelife -checkpoint-dir ckpt -resume
+//	cinder-fleet -devices 1000000 -duration 168h -scenario weekinthelife -shard 0/4 -o part0.json
+//	cinder-fleet -merge part0.json part1.json part2.json part3.json
 package main
 
 import (
@@ -48,10 +56,19 @@ func realMain() int {
 		fixedTick = flag.Bool("fixed-tick", false, "use the fixed-tick compat engine (A/B timing)")
 		perBatch  = flag.Bool("per-batch", false, "disable closed-form tap settlement (A/B timing)")
 		noRecycle = flag.Bool("no-recycle", false, "construct every device from scratch instead of recycling worker machinery (A/B timing)")
-		jsonOut   = flag.Bool("json", false, "emit the deterministic JSON report instead of text")
+		jsonOut   = flag.Bool("json", false, "emit the deterministic JSON report (docs/fleet-report.md) instead of text")
+		canonOut  = flag.Bool("canonical", false, "with -json: zero the engine diagnostics (engine_steps, flow_walks, settled_batches) — the form that is byte-identical across engine/settle modes and checkpoint/resume")
 		sweep     = flag.String("sweep", "", "sweep mode, e.g. battery-j=15000,30000,60000: run the fleet once per value")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+
+		ckptDir    = flag.String("checkpoint-dir", "", "write resumable epoch files (one per sim-day boundary) to this directory")
+		ckptEvery  = flag.Duration("checkpoint-every", 24*time.Hour, "simulated interval between checkpoints")
+		resume     = flag.Bool("resume", false, "continue from the newest complete epoch file in -checkpoint-dir")
+		shard      = flag.String("shard", "", "run one shard of the fleet, e.g. 2/8: emit a mergeable partial report")
+		merge      = flag.Bool("merge", false, "merge partial reports (the positional args) into the full fleet report")
+		outPath    = flag.String("o", "", "write the report to this file instead of stdout")
+		denseWatch = flag.Bool("dense-watch", false, "poll the battery every second instead of the adaptive watch (A/B timing)")
 	)
 	flag.Parse()
 
@@ -84,6 +101,13 @@ func realMain() int {
 		}()
 	}
 
+	if *merge {
+		if err := runMerge(flag.Args(), *jsonOut, *canonOut, *perDevice, *outPath); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+
 	sc, ok := fleet.Scenarios()[*scenario]
 	if !ok {
 		return fail(fmt.Errorf("unknown scenario %q (have %s)", *scenario, scenarioNames()))
@@ -96,8 +120,12 @@ func realMain() int {
 		Scenario: sc,
 		// Per-device output needs the result array retained; otherwise
 		// the run streams results and stays O(workers + buckets).
-		KeepResults: *perDevice,
-		NoRecycle:   *noRecycle,
+		KeepResults:     *perDevice,
+		NoRecycle:       *noRecycle,
+		DenseWatch:      *denseWatch,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: units.Time(ckptEvery.Milliseconds()),
+		Resume:          *resume,
 	}
 	if *batteryJ > 0 {
 		cfg.BatteryCapacity = units.Joules(*batteryJ)
@@ -107,6 +135,30 @@ func realMain() int {
 	}
 	if *perBatch {
 		cfg.Settle = kernel.SettlePerBatch
+	}
+
+	if *shard != "" {
+		var err error
+		cfg.ShardIndex, cfg.ShardCount, err = parseShard(*shard)
+		if err != nil {
+			return fail(err)
+		}
+		start := time.Now()
+		part, err := fleet.RunShard(cfg)
+		if err != nil {
+			return fail(err)
+		}
+		b, err := part.JSON()
+		if err != nil {
+			return fail(err)
+		}
+		if err := emit(*outPath, append(b, '\n')); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "cinder-fleet: shard %d/%d (devices [%d,%d)) done in %v\n",
+			cfg.ShardIndex, cfg.ShardCount, part.RangeLo, part.RangeHi,
+			time.Since(start).Round(time.Millisecond))
+		return 0
 	}
 
 	if *sweep != "" {
@@ -124,7 +176,7 @@ func realMain() int {
 	elapsed := time.Since(start)
 
 	if *jsonOut {
-		if err := printJSON(rep, *perDevice); err != nil {
+		if err := emitJSON(rep, *perDevice, *canonOut, *outPath); err != nil {
 			return fail(err)
 		}
 		return 0
@@ -138,6 +190,78 @@ func realMain() int {
 		printPerDevice(rep)
 	}
 	return 0
+}
+
+// parseShard parses "i/n".
+func parseShard(s string) (idx, count int, err error) {
+	i, n, ok := strings.Cut(s, "/")
+	if ok {
+		idx, err = strconv.Atoi(strings.TrimSpace(i))
+		if err == nil {
+			count, err = strconv.Atoi(strings.TrimSpace(n))
+		}
+	}
+	if !ok || err != nil || count <= 0 || idx < 0 || idx >= count {
+		return 0, 0, fmt.Errorf("bad -shard %q (want i/n with 0 ≤ i < n)", s)
+	}
+	return idx, count, nil
+}
+
+// runMerge combines shard partials into the full fleet report.
+func runMerge(paths []string, jsonOut, canonical, perDevice bool, outPath string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("-merge needs partial-report files as arguments")
+	}
+	if perDevice {
+		return fmt.Errorf("-merge cannot reconstruct per-device results (shards do not carry them)")
+	}
+	parts := make([]*fleet.Partial, 0, len(paths))
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		part, err := fleet.ParsePartial(b)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		parts = append(parts, part)
+	}
+	sc, ok := fleet.Scenarios()[parts[0].Scenario]
+	if !ok {
+		return fmt.Errorf("partials reference unknown scenario %q", parts[0].Scenario)
+	}
+	rep, err := fleet.Merge(parts, sc)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return emitJSON(rep, false, canonical, outPath)
+	}
+	return emit(outPath, []byte(rep.Format()))
+}
+
+// emit writes bytes to the -o file, or stdout.
+func emit(path string, b []byte) error {
+	if path == "" {
+		_, err := os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+func emitJSON(rep fleet.Report, perDevice, canonical bool, path string) error {
+	var b []byte
+	var err error
+	if canonical {
+		b, err = rep.CanonicalJSON(perDevice)
+	} else {
+		b, err = rep.JSON(perDevice)
+	}
+	if err != nil {
+		return err
+	}
+	return emit(path, append(b, '\n'))
 }
 
 // printPerDevice renders one line per device of a report.
@@ -232,15 +356,6 @@ func runSweep(cfg fleet.Config, spec string, jsonOut, perDevice bool) error {
 			printPerDevice(rep)
 		}
 	}
-	return nil
-}
-
-func printJSON(rep fleet.Report, perDevice bool) error {
-	b, err := rep.JSON(perDevice)
-	if err != nil {
-		return err
-	}
-	fmt.Println(string(b))
 	return nil
 }
 

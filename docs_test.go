@@ -1,0 +1,97 @@
+package cinder
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links/images: [text](target).
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinks walks every tracked markdown file and verifies
+// that each relative link resolves to a file in the repository. The CI
+// docs job runs this, so a renamed document or a typoed path breaks
+// the build instead of rotting silently. External links (with a URL
+// scheme) and pure anchors are skipped — the check is about repo
+// integrity, not the internet.
+func TestMarkdownLinks(t *testing.T) {
+	var mdFiles []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if strings.HasPrefix(d.Name(), ".") && path != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(strings.ToLower(d.Name()), ".md") {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mdFiles) < 5 {
+		t.Fatalf("found only %d markdown files; the walk looks broken: %v", len(mdFiles), mdFiles)
+	}
+
+	for _, md := range mdFiles {
+		if filepath.Base(md) == "SNIPPETS.md" {
+			// SNIPPETS.md quotes exemplar code from external repositories;
+			// its "links" are paths inside those repos, not this one.
+			continue
+		}
+		body, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(body), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue // in-document anchor
+			}
+			resolved := filepath.Join(filepath.Dir(md), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s)", md, m[0], resolved)
+			}
+		}
+	}
+}
+
+// TestReadmeCoversEntryPoints pins the README's promises: the
+// quickstart commands and companion documents it names must exist.
+func TestReadmeCoversEntryPoints(t *testing.T) {
+	body, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("README.md missing: %v", err)
+	}
+	s := string(body)
+	for _, want := range []string{
+		"go test ./...",
+		"cinder-sim -all",
+		"ba500c48834931ae427013b72a47ea33", // the frozen artifact hash
+		"cinder-fleet",
+		"-checkpoint-dir",
+		"-shard",
+		"-merge",
+		"DESIGN.md",
+		"EXPERIMENTS.md",
+		"CHANGES.md",
+		"docs/fleet-report.md",
+		"BENCH_week.json",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("README.md does not mention %q", want)
+		}
+	}
+}

@@ -53,6 +53,13 @@ type Graph struct {
 	// onTapActivity, when set, is invoked when a tap acquires a non-zero
 	// rate. The kernel hooks it to resume a deferred flow batch task.
 	onTapActivity func()
+	// onDecayActivity, when set, is invoked when a decayable reserve is
+	// created. The kernel hooks it to resume the parked half-life decay
+	// task: while no decayable reserve exists, Decay is provably a no-op
+	// and its 1 s cadence is the only thing forcing an otherwise
+	// quiescent device to execute 86 400 empty instants per simulated
+	// day.
+	onDecayActivity func()
 	// flowScratch is Flow's reusable snapshot buffer, so a tap released
 	// or zeroed mid-batch cannot shift later taps out of the batch.
 	flowScratch []*Tap
@@ -81,6 +88,14 @@ type Graph struct {
 // SetTapActivityHook installs fn to be called whenever a tap becomes
 // active (acquires a non-zero rate or fraction). Pass nil to remove.
 func (g *Graph) SetTapActivityHook(fn func()) { g.onTapActivity = fn }
+
+// SetDecayActivityHook installs fn to be called whenever a decayable
+// reserve is created. Pass nil to remove.
+func (g *Graph) SetDecayActivityHook(fn func()) { g.onDecayActivity = fn }
+
+// DecayableCount returns the number of live reserves subject to the
+// global half-life. While it is zero, Decay is a no-op by construction.
+func (g *Graph) DecayableCount() int { return len(g.decayable) }
 
 // ActiveTapCount returns the number of taps with a non-zero rate.
 func (g *Graph) ActiveTapCount() int { return len(g.active) }
@@ -147,6 +162,7 @@ func (g *Graph) Reset(t *kobj.Table, root *kobj.Container, batteryLabel label.La
 	g.active = truncTaps(g.active)
 	g.decayable = truncReserves(g.decayable)
 	g.onTapActivity = nil
+	g.onDecayActivity = nil
 	g.flowScratch = truncTaps(g.flowScratch)
 	g.flowHook = nil
 	g.tapSeq = 0
@@ -214,6 +230,9 @@ func (g *Graph) newReserve(parent *kobj.Container, name string, lbl label.Label,
 	g.reserves = append(g.reserves, r)
 	if !r.decayExempt {
 		g.decayable = append(g.decayable, r)
+		if g.onDecayActivity != nil {
+			g.onDecayActivity()
+		}
 	}
 	return r
 }

@@ -93,6 +93,17 @@ var extendedEquivalence = map[string]fleet.Config{
 		Workers:  2,
 		Scenario: fleet.DayInTheLife(),
 	},
+	// 16 h of the heterogeneous week covers its weekday structure —
+	// per-device poller cadences over the morning commute, the midday
+	// call, the afternoon SMS burst — at a tick count the fixed-tick
+	// oracle can still walk.
+	"weekinthelife": {
+		Devices:  3,
+		Seed:     5,
+		Duration: 16 * units.Hour,
+		Workers:  2,
+		Scenario: fleet.WeekInTheLife(),
+	},
 }
 
 // TestExtendedEngineEquivalence runs every extended-registry experiment's

@@ -87,7 +87,7 @@ func TestRegistry(t *testing.T) {
 	}
 	// Extended experiments resolve through Run but stay out of Names()
 	// (and therefore out of the frozen -all output).
-	extendedWant := []string{"dayinthelife"}
+	extendedWant := []string{"dayinthelife", "weekinthelife"}
 	if strings.Join(ExtendedNames(), ",") != strings.Join(extendedWant, ",") {
 		t.Fatalf("ExtendedNames() = %v, want %v", ExtendedNames(), extendedWant)
 	}
@@ -103,6 +103,13 @@ func TestDayInTheLife(t *testing.T) {
 		t.Skip("long: two mixed 24 h fleet runs")
 	}
 	requirePass(t, DayInTheLife(DayInTheLifeOptions{Devices: 30, Duration: 24 * units.Hour, Seed: 1}))
+}
+
+func TestWeekInTheLife(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long: heterogeneous 7-day fleet runs")
+	}
+	requirePass(t, WeekInTheLife(WeekInTheLifeOptions{Devices: 60, Seed: 1}))
 }
 
 func TestResultFormatting(t *testing.T) {

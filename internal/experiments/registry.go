@@ -32,7 +32,8 @@ var registry = map[string]Runner{
 // (`cinder-sim -exp dayinthelife`), listed separately, excluded from
 // RunAll's frozen output.
 var extended = map[string]Runner{
-	"dayinthelife": func() Result { return DayInTheLife(DefaultDayInTheLifeOptions()) },
+	"dayinthelife":  func() Result { return DayInTheLife(DefaultDayInTheLifeOptions()) },
+	"weekinthelife": func() Result { return WeekInTheLife(DefaultWeekInTheLifeOptions()) },
 }
 
 // Names returns the paper-artifact experiment IDs, sorted. The set is

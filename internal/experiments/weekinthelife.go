@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+
+	"repro/internal/fleet"
+	"repro/internal/units"
+)
+
+// WeekInTheLifeOptions parameterizes the week-in-the-life fleet
+// experiment.
+type WeekInTheLifeOptions struct {
+	// Devices is the heterogeneous-fleet size.
+	Devices int
+	// Seed is the fleet master seed.
+	Seed int64
+}
+
+// DefaultWeekInTheLifeOptions returns the registered scale: two hundred
+// phones over seven simulated days.
+func DefaultWeekInTheLifeOptions() WeekInTheLifeOptions {
+	return WeekInTheLifeOptions{Devices: 200, Seed: 1}
+}
+
+// WeekInTheLife exercises the lifetime-scale fleet machinery end to
+// end: a heterogeneous population (per-device battery capacity, poller
+// cadence, commute length) lives through seven simulated days of
+// weekday/weekend phase alternation, and the shape checks pin the
+// properties the week workload is built on — population heterogeneity,
+// weekday-only commute traffic, deaths arriving as a lifetime-scale
+// effect in the back half of the week, and checkpoint/resume producing
+// canonical bytes identical to an uninterrupted run.
+func WeekInTheLife(opts WeekInTheLifeOptions) Result {
+	res := Result{
+		ID:    "weekinthelife",
+		Title: "Week-in-the-life fleet (heterogeneous population, 7-day horizon)",
+	}
+	if opts.Devices <= 0 {
+		opts.Devices = DefaultWeekInTheLifeOptions().Devices
+	}
+	if opts.Seed == 0 {
+		opts.Seed = DefaultWeekInTheLifeOptions().Seed
+	}
+	week := 7 * 24 * units.Hour
+	cfg := fleet.Config{
+		Devices:  opts.Devices,
+		Seed:     opts.Seed,
+		Duration: week,
+		Workers:  2,
+		Scenario: fleet.WeekInTheLife(),
+		// Per-device results retained: check 3 asserts on the *earliest*
+		// death, which the aggregate percentiles cannot witness.
+		KeepResults: true,
+	}
+	rep, err := fleet.Run(cfg)
+	if err != nil {
+		res.Headline = "fleet run failed: " + err.Error()
+		res.Checks = append(res.Checks, check("fleet runs", "completes", false, "%v", err))
+		return res
+	}
+
+	tbl := Table{
+		Title:  fmt.Sprintf("Week cohorts, %d devices × 7 d (seed %d)", opts.Devices, opts.Seed),
+		Header: []string{"cohort", "devices", "mean drawn", "deaths", "life p50", "polls", "pages", "sms", "calls"},
+	}
+	buckets := map[string]fleet.Bucket{}
+	for _, b := range rep.Buckets {
+		buckets[b.Name] = b
+		life := "-"
+		if b.Dead > 0 {
+			life = b.LifeP50.String()
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			b.Name, fmt.Sprint(b.Devices), b.MeanConsumed.String(),
+			fmt.Sprint(b.Dead), life,
+			fmt.Sprint(b.Polls), fmt.Sprint(b.Pages), fmt.Sprint(b.SMSSent), fmt.Sprint(b.Calls),
+		})
+	}
+	res.Tables = append(res.Tables, tbl)
+
+	// Shape check 1: the population is heterogeneous — every cohort
+	// appears, each with its signature traffic.
+	idle, okI := buckets["week-idle"]
+	com, okC := buckets["week-commuter"]
+	chat, okCh := buckets["week-chatty"]
+	res.Checks = append(res.Checks, check(
+		"heterogeneous cohorts with signature traffic",
+		"idle silent, commuter polls, chatty calls+SMS",
+		okI && okC && okCh && com.Polls > 0 && chat.Calls > 0 && chat.SMSSent > 0 &&
+			idle.Polls == 0 && idle.Calls == 0,
+		"commuter polls %d, chatty calls %d sms %d, idle activations %d",
+		com.Polls, chat.Calls, chat.SMSSent, idle.Activations))
+
+	// Shape check 2: weekday/weekend alternation — commutes are
+	// weekday-only, so days six and seven add no polls.
+	fiveDays := cfg
+	fiveDays.Duration = 5 * 24 * units.Hour
+	wd, err := fleet.Run(fiveDays)
+	weekdayOnly := err == nil && rep.TotalPolls > 0 && wd.TotalPolls == rep.TotalPolls
+	res.Checks = append(res.Checks, check(
+		"weekday/weekend phase alternation",
+		"weekend days add no commute polls",
+		weekdayOnly, "polls after 5 d: %d, after 7 d: %d", wd.TotalPolls, rep.TotalPolls))
+
+	// Shape check 3: battery death is a lifetime-scale effect — the
+	// per-device capacity draws straddle the week's baseline cost, so
+	// some (not all) devices die, and the *earliest* death still lands
+	// in day five or later.
+	day := 24 * units.Hour
+	earliest := week
+	for _, r := range rep.Results {
+		if r.Died && r.DiedAt < earliest {
+			earliest = r.DiedAt
+		}
+	}
+	res.Checks = append(res.Checks, check(
+		"deaths arrive at lifetime scale",
+		"0 < deaths < fleet, none before day 5",
+		rep.Dead > 0 && rep.Dead < rep.Devices && earliest >= 4*day,
+		"%d/%d dead, earliest %v, p50 life %v", rep.Dead, rep.Devices, earliest, rep.LifeP50))
+
+	// Shape check 4: checkpoint/resume invariance at a reduced scale —
+	// an epoch-checkpointed run's canonical report must be byte-
+	// identical to the uninterrupted one.
+	ckptOK := false
+	detail := ""
+	if dir, err := os.MkdirTemp("", "cinder-week-ckpt"); err == nil {
+		defer os.RemoveAll(dir)
+		small := cfg
+		small.Devices = 12
+		plain, err1 := fleet.Run(small)
+		small.CheckpointDir = dir
+		ckpt, err2 := fleet.Run(small)
+		if err1 == nil && err2 == nil {
+			a, _ := plain.CanonicalJSON(false)
+			b, _ := ckpt.CanonicalJSON(false)
+			ckptOK = bytes.Equal(a, b)
+			detail = fmt.Sprintf("identical=%v", ckptOK)
+		} else {
+			detail = fmt.Sprintf("%v / %v", err1, err2)
+		}
+	}
+	res.Checks = append(res.Checks, check(
+		"checkpointed week equals uninterrupted week",
+		"canonical JSON byte-identical through day-boundary snapshots",
+		ckptOK, "%s", detail))
+
+	res.Headline = fmt.Sprintf(
+		"%d-device week: %d dead (p50 life %v); %d polls, %d pages, %d sms, %d calls; weekday-only commutes %v",
+		rep.Devices, rep.Dead, rep.LifeP50, rep.TotalPolls,
+		pagesOf(rep), smsOf(rep), callsOf(rep), weekdayOnly)
+	return res
+}
+
+// pagesOf / smsOf / callsOf sum the bucket counters (the report keeps
+// them per bucket only).
+func pagesOf(rep fleet.Report) int64 {
+	var n int64
+	for _, b := range rep.Buckets {
+		n += b.Pages
+	}
+	return n
+}
+
+func smsOf(rep fleet.Report) int64 {
+	var n int64
+	for _, b := range rep.Buckets {
+		n += b.SMSSent
+	}
+	return n
+}
+
+func callsOf(rep fleet.Report) int64 {
+	var n int64
+	for _, b := range rep.Buckets {
+		n += b.Calls
+	}
+	return n
+}

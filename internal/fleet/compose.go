@@ -12,6 +12,7 @@ import (
 	"repro/internal/netd"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/snap"
 	"repro/internal/units"
 )
 
@@ -344,6 +345,20 @@ func (b Browse) Install(d *Device, w Window) error {
 	d.Probes = append(d.Probes, func(res *DeviceResult) {
 		res.Pages += int64(br.loaded)
 	})
+	// The loaded-page count lives only in this install's closure; carry
+	// it across checkpoints so a resumed device reports the same Pages
+	// total an uninterrupted run would.
+	d.Hooks = append(d.Hooks, SnapHook{
+		Save: func(sw *snap.Writer) {
+			sw.Section("browse")
+			sw.I64(int64(br.loaded))
+		},
+		Load: func(sr *snap.Reader) error {
+			sr.Section("browse")
+			br.loaded = int(sr.I64())
+			return sr.Err()
+		},
+	})
 	return nil
 }
 
@@ -465,10 +480,30 @@ func (p Pollers) Install(d *Device, w Window) error {
 			ctr = nil
 		}
 	})
+	// carried holds polls completed before the most recent checkpoint:
+	// the poller objects themselves live in this install's closure and a
+	// resumed device rebuilds the phase with fresh, zeroed pollers.
+	var carried int64
 	d.Probes = append(d.Probes, func(res *DeviceResult) {
+		res.Polls += carried
 		for _, pl := range pollers {
 			res.Polls += int64(pl.Completed)
 		}
+	})
+	d.Hooks = append(d.Hooks, SnapHook{
+		Save: func(sw *snap.Writer) {
+			sw.Section("pollers")
+			total := carried
+			for _, pl := range pollers {
+				total += int64(pl.Completed)
+			}
+			sw.I64(total)
+		},
+		Load: func(sr *snap.Reader) error {
+			sr.Section("pollers")
+			carried = sr.I64()
+			return sr.Err()
+		},
 	})
 	return nil
 }

@@ -6,11 +6,24 @@
 //
 // Determinism is preserved at fleet scale: every device's RNG seed is
 // derived from the fleet seed and the device index by a splitmix64 hash,
-// devices never share mutable state, and aggregation walks results in
-// device order after all workers join. The same (seed, devices,
-// scenario, duration) always produces identical reports regardless of
-// worker count or scheduling, which the package tests assert under the
-// race detector.
+// devices never share mutable state, and results are reduced in strict
+// device-index order through a bounded admission window. The same
+// (seed, devices, scenario, duration) always produces identical reports
+// regardless of worker count or scheduling, which the package tests
+// assert under the race detector.
+//
+// Three mechanisms make week-scale million-device runs first-class
+// workloads (checkpoint.go, shard.go):
+//
+//   - every aggregate is integer-mergeable (sums, counts, and a
+//     log-linear quantile sketch instead of retained sample arrays), so
+//     reports stay O(buckets) at any fleet size;
+//   - a run can be partitioned with Config.ShardIndex/ShardCount into
+//     independent processes whose partial reports merge into the exact
+//     canonical JSON a single process produces;
+//   - a run can checkpoint every device's full state into epoch files at
+//     sim-day boundaries and resume after an interruption, byte-identical
+//     to an uninterrupted run.
 package fleet
 
 import (
@@ -26,6 +39,8 @@ import (
 	"repro/internal/netd"
 	"repro/internal/radio"
 	"repro/internal/sim"
+	"repro/internal/sketch"
+	"repro/internal/snap"
 	"repro/internal/units"
 )
 
@@ -61,6 +76,20 @@ type Device struct {
 	// to add workload counters into the DeviceResult (PollerScenario
 	// accumulates completed polls into Polls this way).
 	Probes []func(*DeviceResult)
+	// Hooks are scenario-installed checkpoint participants: workload
+	// counters that live in install-time closures (a browse phase's
+	// loaded-page count) register a SnapHook so device snapshots carry
+	// them across a resume. Hooks are saved and restored in registration
+	// order, which is deterministic because Build is.
+	Hooks []SnapHook
+}
+
+// SnapHook is one workload's checkpoint participation: Save serializes
+// its counters into a device snapshot, Load restores them after the
+// workload was rebuilt.
+type SnapHook struct {
+	Save func(*snap.Writer)
+	Load func(*snap.Reader) error
 }
 
 // EnsureSmdd boots the device's baseband daemon (shared-memory channel,
@@ -95,8 +124,12 @@ type DeviceResult struct {
 	// cover a single baseline batch).
 	Died   bool
 	DiedAt units.Time
-	// Utilization is the CPU busy percentage.
+	// Utilization is the CPU busy percentage; BusyTicks and IdleTicks
+	// are the integer quantum counts behind it (the mergeable form the
+	// aggregator actually sums).
 	Utilization float64
+	BusyTicks   int64
+	IdleTicks   int64
 	// RadioActivations counts radio power-ups.
 	RadioActivations int64
 	// Polls counts completed application-level polls (scenario-defined).
@@ -130,6 +163,25 @@ type Scenario interface {
 	Build(d *Device) error
 }
 
+// DeviceProvision carries per-device hardware parameters a population
+// scenario draws before the device's kernel is built — the knobs that
+// must be fixed at construction time and therefore cannot be chosen
+// from inside Build.
+type DeviceProvision struct {
+	// BatteryCapacity overrides the profile battery for this device.
+	// Zero keeps the fleet-level setting.
+	BatteryCapacity units.Energy
+}
+
+// Provisioner is optionally implemented by scenarios that model a
+// heterogeneous hardware population (WeekInTheLife draws per-device
+// battery capacities). Provision must be deterministic in (idx, seed)
+// and must not touch the device construction stream — implementations
+// derive their own splitmix stream from the seed.
+type Provisioner interface {
+	Provision(idx int, seed int64) DeviceProvision
+}
+
 // Config parameterizes a fleet run.
 type Config struct {
 	// Devices is the fleet size.
@@ -142,12 +194,13 @@ type Config struct {
 	Workers int
 	// Scenario is the workload; required.
 	Scenario Scenario
-	// BatteryCapacity overrides the profile battery on every device.
+	// BatteryCapacity overrides the profile battery on every device
+	// (and any Provisioner draw).
 	BatteryCapacity units.Energy
 	// LifeResolution overrides DefaultLifeResolution.
 	LifeResolution units.Time
 	// EngineMode selects the time-advancement strategy (default
-	// next-event; the fixed-tick compat mode exists for A/B timing).
+	// next-event; the fixed-tick compat mode exists for differential testing).
 	EngineMode sim.Mode
 	// Settle selects the busy-path strategy (default closed-form
 	// settlement; the per-batch compat mode exists for A/B timing and
@@ -156,14 +209,37 @@ type Config struct {
 	// KeepResults retains the per-device result array on the Report.
 	// Off (the default) the run streams each DeviceResult into the
 	// aggregate and drops it, so fleet memory stays O(workers + buckets)
-	// regardless of size — at 100k devices the array is the report's
-	// only super-constant consumer. Turn it on for per-device output.
+	// regardless of size. Turn it on for per-device output.
 	KeepResults bool
 	// NoRecycle constructs every device from scratch instead of
 	// recycling each worker's kernel/radio/netd machinery. It exists for
 	// A/B benchmarks and the recycling-equivalence tests; reports are
 	// byte-identical either way.
 	NoRecycle bool
+	// DenseWatch disables the adaptive battery-watch deferral and polls
+	// the battery every LifeResolution instead, the pre-optimization
+	// behaviour. It exists for A/B benchmarks and the watch-equivalence
+	// tests; reports are byte-identical either way.
+	DenseWatch bool
+
+	// ShardIndex/ShardCount partition the device index range across
+	// independent processes: shard i of n runs the contiguous range
+	// [i·N/n, (i+1)·N/n). Zero ShardCount means unsharded. Sharded runs
+	// go through RunShard, which emits a mergeable partial report.
+	ShardIndex int
+	ShardCount int
+
+	// CheckpointDir, when set, makes the run interruptible: every
+	// device's full state is snapshotted at each CheckpointEvery
+	// boundary (default 24 h) into an epoch file, written in strict
+	// device-index order. Resume restarts from the last complete epoch
+	// instead of t = 0; the resumed run's report is byte-identical to an
+	// uninterrupted one.
+	CheckpointDir   string
+	CheckpointEvery units.Time
+	// Resume continues from the newest complete epoch file in
+	// CheckpointDir (an error if none matches this config).
+	Resume bool
 }
 
 // Report is the deterministic aggregate of a fleet run.
@@ -179,6 +255,10 @@ type Report struct {
 	MinConsumed   units.Energy
 	MaxConsumed   units.Energy
 
+	// MeanUtilization is the fleet-wide CPU busy percentage:
+	// 100·Σbusy/Σ(busy+idle) over all devices. The tick sums (not the
+	// ratio) are what aggregation carries, so sharded runs merge
+	// exactly.
 	MeanUtilization float64
 
 	TotalPolls       int64
@@ -186,8 +266,10 @@ type Report struct {
 	TotalPowerUps    int64
 
 	// Dead counts devices whose battery ran out; LifeP50/LifeP90 are
-	// percentiles of time-to-exhaustion across dead devices (0 when
-	// none died).
+	// nearest-rank percentiles of time-to-exhaustion across dead
+	// devices (0 when none died), read from a mergeable log-linear
+	// quantile sketch with ≤ 2⁻⁷ relative error — the report is exact
+	// in counts and sums, approximate only in these two fields.
 	Dead    int
 	LifeP50 units.Time
 	LifeP90 units.Time
@@ -276,8 +358,10 @@ func (r Report) Format() string {
 // reportJSON is the stable wire form of a Report. It deliberately
 // excludes the resolved worker count and anything wall-clock-derived:
 // for a fixed (seed, devices, scenario, duration) the marshalled bytes
-// are identical regardless of parallelism, which tests assert. Energies
-// are microjoules, times milliseconds (the package's native units).
+// are identical regardless of parallelism — and regardless of shard
+// count, which -merge relies on. Energies are microjoules, times
+// milliseconds (the package's native units). docs/fleet-report.md
+// documents every field.
 type reportJSON struct {
 	Scenario   string `json:"scenario"`
 	Devices    int    `json:"devices"`
@@ -354,9 +438,11 @@ func (r Report) JSON(perDevice bool) ([]byte, error) {
 
 // CanonicalJSON renders the report with every engine-level diagnostic
 // (executed instants, flow walks, settled batches) zeroed: the bytes
-// that must be identical across engine and settlement modes, which the
-// differential tests assert. Everything energy- or workload-shaped —
-// consumption, lifetimes, utilization, polls, pages, SMS, calls — stays.
+// that must be identical across engine and settlement modes — and
+// across checkpointed, resumed, sharded and merged runs — which the
+// invariance suites assert. Everything energy- or workload-shaped —
+// consumption, lifetimes, utilization, polls, pages, SMS, calls —
+// stays.
 func (r Report) CanonicalJSON(perDevice bool) ([]byte, error) {
 	return r.marshalJSON(perDevice, true)
 }
@@ -437,53 +523,145 @@ func (r Report) marshalJSON(perDevice, canonical bool) ([]byte, error) {
 	return json.MarshalIndent(out, "", "  ")
 }
 
-// Run simulates the fleet and returns the aggregate report.
-//
-// Devices are dispatched to the worker pool through a bounded admission
-// window and their results are reduced strictly in index order as they
-// stream back, so (1) every float accumulation happens in the same
-// order regardless of worker count or scheduling, and (2) the run never
-// holds more than O(workers) in-flight results plus O(buckets)
-// aggregate state — per-device results are dropped after reduction
-// unless cfg.KeepResults asks for them. (Death times of dead devices
-// are the one O(dead) exception: exact percentiles need them all.)
-func Run(cfg Config) (Report, error) {
+// validate normalizes and checks a config, returning the resolved
+// worker count.
+func (cfg *Config) validate() (workers int, err error) {
 	if cfg.Devices <= 0 {
-		return Report{}, fmt.Errorf("fleet: need at least 1 device, got %d", cfg.Devices)
+		return 0, fmt.Errorf("fleet: need at least 1 device, got %d", cfg.Devices)
 	}
 	if cfg.Scenario == nil {
-		return Report{}, fmt.Errorf("fleet: nil scenario")
+		return 0, fmt.Errorf("fleet: nil scenario")
 	}
 	if cfg.Duration <= 0 {
-		return Report{}, fmt.Errorf("fleet: non-positive duration %v", cfg.Duration)
+		return 0, fmt.Errorf("fleet: non-positive duration %v", cfg.Duration)
 	}
 	if cfg.LifeResolution == 0 {
 		cfg.LifeResolution = DefaultLifeResolution
 	}
 	if cfg.LifeResolution < 0 {
-		return Report{}, fmt.Errorf("fleet: negative life resolution %v", cfg.LifeResolution)
+		return 0, fmt.Errorf("fleet: negative life resolution %v", cfg.LifeResolution)
 	}
-	workers := cfg.Workers
+	if cfg.ShardCount < 0 || (cfg.ShardCount > 0 && (cfg.ShardIndex < 0 || cfg.ShardIndex >= cfg.ShardCount)) {
+		return 0, fmt.Errorf("fleet: shard %d of %d out of range", cfg.ShardIndex, cfg.ShardCount)
+	}
+	if cfg.ShardCount > cfg.Devices {
+		return 0, fmt.Errorf("fleet: %d shards over %d devices", cfg.ShardCount, cfg.Devices)
+	}
+	if cfg.ShardCount > 0 && cfg.KeepResults {
+		return 0, fmt.Errorf("fleet: per-device results are not supported on sharded runs")
+	}
+	if cfg.Resume && cfg.CheckpointDir == "" {
+		return 0, fmt.Errorf("fleet: -resume needs a checkpoint dir")
+	}
+	workers = cfg.Workers
 	if workers <= 0 {
 		workers = defaultWorkers()
 	}
-	if workers > cfg.Devices {
-		workers = cfg.Devices
-	}
+	return workers, nil
+}
 
-	// The admission window bounds how far any device index may run
-	// ahead of the reduction frontier, which in turn bounds the reorder
-	// ring: index i is dispatched only once the frontier has passed
-	// i−window, so at most `window` results are ever buffered and the
-	// result channel can never fill with the frontier index still
-	// outstanding (the no-deadlock argument).
+// shardRange returns the contiguous device index range this config
+// covers: the whole fleet when unsharded, shard i's slice otherwise.
+func (cfg Config) shardRange() (lo, hi int) {
+	if cfg.ShardCount <= 0 {
+		return 0, cfg.Devices
+	}
+	lo = cfg.ShardIndex * cfg.Devices / cfg.ShardCount
+	hi = (cfg.ShardIndex + 1) * cfg.Devices / cfg.ShardCount
+	return lo, hi
+}
+
+// Run simulates the fleet and returns the aggregate report. With
+// Config.CheckpointDir set the run proceeds epoch by epoch, writing a
+// resumable snapshot of every device at each boundary (checkpoint.go);
+// otherwise each device runs its whole horizon in one pass.
+//
+// Devices are dispatched to the worker pool through a bounded admission
+// window and their results are reduced strictly in index order as they
+// stream back, so the run never holds more than O(workers) in-flight
+// results plus O(buckets) aggregate state — per-device results are
+// dropped after reduction unless cfg.KeepResults asks for them.
+func Run(cfg Config) (Report, error) {
+	workers, err := cfg.validate()
+	if err != nil {
+		return Report{}, err
+	}
+	if cfg.ShardCount > 0 {
+		return Report{}, fmt.Errorf("fleet: sharded configs run through RunShard")
+	}
+	agg := newAggregate()
+	if cfg.CheckpointDir != "" {
+		if err := runEpochs(cfg, workers, agg); err != nil {
+			return Report{}, err
+		}
+	} else {
+		if err := runWhole(cfg, workers, agg); err != nil {
+			return Report{}, err
+		}
+	}
+	return agg.finish(cfg, workers), nil
+}
+
+// runWhole is the single-pass path: every device simulates its full
+// horizon in one go.
+func runWhole(cfg Config, workers int, agg *aggregate) error {
+	lo, hi := cfg.shardRange()
+	return pass(cfg, workers, lo, hi, nil,
+		func(idx int, _ []byte, rg *rig) outcome {
+			d, res, err := buildDevice(cfg, idx, rg)
+			if err != nil {
+				return outcome{err: err}
+			}
+			d.Kernel.Run(cfg.Duration)
+			extractResult(d, res)
+			return outcome{res: *res}
+		},
+		func(_ int, o outcome) error {
+			agg.add(o.res, cfg.KeepResults)
+			return nil
+		})
+}
+
+// outcome is one device's product from a pass: a final result, or (on
+// checkpointing passes) a snapshot-or-result blob, classified by kind,
+// to carry into the next epoch.
+type outcome struct {
+	res  DeviceResult
+	blob []byte
+	kind int
+	err  error
+}
+
+// pass runs device indexes [lo, hi) through the worker pool. feed, when
+// non-nil, supplies each device's input blob and is called from the
+// dispatch side strictly in index order (so it can stream a file);
+// reduce is called strictly in index order as results stream back.
+//
+// The admission window bounds how far any device index may run ahead of
+// the reduction frontier, which in turn bounds the reorder ring: index
+// i is dispatched only once the frontier has passed i−window, so at
+// most `window` results are ever buffered and the result channel can
+// never fill with the frontier index still outstanding (the no-deadlock
+// argument).
+func pass(cfg Config, workers, lo, hi int,
+	feed func(idx int) ([]byte, error),
+	work func(idx int, in []byte, rg *rig) outcome,
+	reduce func(idx int, o outcome) error) error {
+
+	n := hi - lo
+	if n <= 0 {
+		return fmt.Errorf("fleet: empty device range [%d,%d)", lo, hi)
+	}
+	if workers > n {
+		workers = n
+	}
 	window := 4 * workers
-	if window > cfg.Devices {
-		window = cfg.Devices
+	if window > n {
+		window = n
 	}
 	type slot struct {
-		res  DeviceResult
-		err  error
+		in   []byte
+		out  outcome
 		done bool
 	}
 	ring := make([]slot, window)
@@ -500,54 +678,74 @@ func Run(cfg Config) (Report, error) {
 				// The ring slot for index i is owned by this worker
 				// until the reducer receives i; the channel send is the
 				// happens-before edge.
-				s := &ring[i%window]
-				s.res, s.err = runDevice(cfg, i, &rg)
+				s := &ring[(i-lo)%window]
+				s.out = work(i, s.in, &rg)
 				resultCh <- i
 			}
 		}()
 	}
 
-	dispatched := 0
-	for ; dispatched < window; dispatched++ {
-		indexCh <- dispatched
+	var feedErr error
+	dispatch := func(i int) bool {
+		s := &ring[(i-lo)%window]
+		s.in = nil
+		if feed != nil && feedErr == nil {
+			s.in, feedErr = feed(i)
+			if feedErr != nil {
+				// Dispatch anyway with nil input; the worker result is
+				// discarded once firstErr is set below.
+				s.in = nil
+			}
+		}
+		indexCh <- i
+		return true
 	}
-	if dispatched == cfg.Devices {
+
+	dispatched := lo
+	for ; dispatched < lo+window; dispatched++ {
+		dispatch(dispatched)
+	}
+	if dispatched == hi {
 		close(indexCh)
 	}
 
-	agg := newAggregator(cfg, workers)
 	var firstErr error
-	for frontier := 0; frontier < cfg.Devices; {
+	if feedErr != nil {
+		firstErr = feedErr
+	}
+	for frontier := lo; frontier < hi; {
 		i := <-resultCh
-		ring[i%window].done = true
-		for frontier < cfg.Devices && ring[frontier%window].done {
-			s := &ring[frontier%window]
-			if s.err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("fleet: device %d: %w", frontier, s.err)
+		ring[(i-lo)%window].done = true
+		for frontier < hi && ring[(frontier-lo)%window].done {
+			s := &ring[(frontier-lo)%window]
+			if firstErr == nil && feedErr != nil {
+				firstErr = feedErr
+			}
+			if s.out.err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("fleet: device %d: %w", frontier, s.out.err)
 			} else if firstErr == nil {
-				agg.add(s.res)
+				if err := reduce(frontier, s.out); err != nil {
+					firstErr = err
+				}
 			}
 			*s = slot{}
 			frontier++
-			if dispatched < cfg.Devices {
-				indexCh <- dispatched
+			if dispatched < hi {
+				dispatch(dispatched)
 				dispatched++
-				if dispatched == cfg.Devices {
+				if dispatched == hi {
 					close(indexCh)
 				}
 			}
 		}
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return Report{}, firstErr
-	}
-	return agg.finish(), nil
+	return firstErr
 }
 
 // rig is one worker's recyclable device machinery: the kernel (engine,
 // object table, graph, scheduler), radio and netd are Reset in place
-// for each device instead of constructed fresh, so a 100k-device run
+// for each device instead of constructed fresh, so a million-device run
 // builds only O(workers) object graphs. The per-device Smdd is not
 // recycled — it exists only on devices whose scenario asks for it.
 type rig struct {
@@ -557,13 +755,17 @@ type rig struct {
 	dev *Device
 }
 
-// runDevice simulates one fleet member to its horizon (or battery
-// death), recycling the rig's machinery when it already exists. The
-// recycled construction sequence is identical to the fresh one —
+// buildDevice assembles one fleet member — recycled rig machinery, the
+// scenario's workloads, and the battery watch — leaving it ready to
+// run (or to overlay a checkpoint snapshot). The returned DeviceResult
+// is wired into the battery watch; extractResult completes it after
+// the simulation.
+//
+// The recycled construction sequence is identical to the fresh one —
 // kernel, then radio (and its funding reserve), then netd — so object
 // IDs, seeds and every downstream result are byte-identical; the
 // equivalence tests assert it.
-func runDevice(cfg Config, idx int, rg *rig) (DeviceResult, error) {
+func buildDevice(cfg Config, idx int, rg *rig) (*Device, *DeviceResult, error) {
 	seed := DeriveSeed(cfg.Seed, idx)
 	mode := cfg.EngineMode
 	if mode == sim.ModeAuto {
@@ -575,7 +777,10 @@ func runDevice(cfg Config, idx int, rg *rig) (DeviceResult, error) {
 		EngineMode:      mode,
 		Settle:          cfg.Settle,
 	}
-	ncfg := netd.Config{Cooperative: true, QuiescentSweep: true}
+	if p, ok := cfg.Scenario.(Provisioner); ok && kcfg.BatteryCapacity == 0 {
+		kcfg.BatteryCapacity = p.Provision(idx, seed).BatteryCapacity
+	}
+	ncfg := netd.Config{Cooperative: true, QuiescentSweep: true, NoPoolTrace: true}
 	if cfg.NoRecycle {
 		*rg = rig{}
 	}
@@ -587,7 +792,7 @@ func runDevice(cfg Config, idx int, rg *rig) (DeviceResult, error) {
 		rg.n, err = netd.New(rg.k, rg.r, ncfg)
 		if err != nil {
 			*rg = rig{} // never leave a half-built rig for the next device
-			return DeviceResult{}, err
+			return nil, nil, err
 		}
 		rg.dev = &Device{}
 	} else {
@@ -596,14 +801,16 @@ func runDevice(cfg Config, idx int, rg *rig) (DeviceResult, error) {
 		rg.k.AddDevice(rg.r)
 		if err := rg.n.Reset(rg.k, rg.r, ncfg); err != nil {
 			*rg = rig{}
-			return DeviceResult{}, err
+			return nil, nil, err
 		}
 	}
-	k, r, n := rg.k, rg.r, rg.n
+	k := rg.k
 
 	d := rg.dev
 	clear(d.Probes)
 	probes := d.Probes[:0]
+	clear(d.Hooks)
+	hooks := d.Hooks[:0]
 	rand := d.Rand
 	if rand == nil {
 		rand = newSplitmix(seed)
@@ -615,33 +822,56 @@ func runDevice(cfg Config, idx int, rg *rig) (DeviceResult, error) {
 		Seed:     seed,
 		Rand:     rand,
 		Kernel:   k,
-		Radio:    r,
-		Netd:     n,
+		Radio:    rg.r,
+		Netd:     rg.n,
 		Scenario: cfg.Scenario.Name(),
 		Probes:   probes,
+		Hooks:    hooks,
 	}
 	if err := cfg.Scenario.Build(d); err != nil {
-		return DeviceResult{}, err
+		return nil, nil, err
 	}
 
-	res := DeviceResult{Index: idx, Seed: seed}
-	k.Eng.Every("fleet:battery-watch", cfg.LifeResolution, func(e *sim.Engine) {
+	res := &DeviceResult{Index: idx, Seed: seed}
+	lifeRes := cfg.LifeResolution
+	if lifeRes == 0 {
+		lifeRes = DefaultLifeResolution
+	}
+	var watch *sim.Task
+	watch = k.Eng.Every("fleet:battery-watch", lifeRes, func(e *sim.Engine) {
 		if !res.Died && k.BatteryExhausted() {
 			res.Died = true
 			res.DiedAt = e.Now()
 			e.Stop() // dead device: nothing left to measure
+			return
+		}
+		if cfg.DenseWatch {
+			return
+		}
+		// While the device is provably quiescent, skip ahead: the kernel
+		// bounds how far the battery could possibly drain, and the
+		// deferral lands the next check at the exact grid instant dense
+		// polling would first have detected anything.
+		if h := k.WatchHorizon(watch); h > e.Now() {
+			watch.DeferUntil(h)
 		}
 	})
-	k.Run(cfg.Duration)
+	return d, res, nil
+}
 
+// extractResult reads the simulated device back into its result.
+func extractResult(d *Device, res *DeviceResult) {
+	k := d.Kernel
 	res.Scenario = d.Scenario
 	res.Consumed = k.Consumed()
 	if lvl, err := k.Battery().Level(k.KernelPriv()); err == nil {
 		res.BatteryLeft = lvl
 	}
 	res.Utilization = k.Sched.Utilization()
-	res.RadioActivations = r.Stats().Activations
-	res.PowerUps = n.Stats().PowerUps
+	res.BusyTicks = k.Sched.BusyTicks()
+	res.IdleTicks = k.Sched.IdleTicks()
+	res.RadioActivations = d.Radio.Stats().Activations
+	res.PowerUps = d.Netd.Stats().PowerUps
 	res.EngineSteps = k.Eng.Steps()
 	res.FlowWalks = k.Graph.FlowWalks()
 	res.SettledBatches = k.Graph.SettledBatches()
@@ -651,133 +881,224 @@ func runDevice(cfg Config, idx int, rg *rig) (DeviceResult, error) {
 		res.CallsPlaced = s.CallsPlaced
 	}
 	for _, p := range d.Probes {
-		p(&res)
-	}
-	return res, nil
-}
-
-// aggregator reduces device results into the report incrementally, in
-// strict index order. Its state is O(buckets) plus the death times
-// needed for exact lifetime percentiles; the accumulation arithmetic is
-// exactly the order the former two-pass reduction performed, so reports
-// are bit-identical to pre-streaming ones and across worker counts.
-type aggregator struct {
-	rep         Report
-	keep        bool
-	seen        int
-	lives       []units.Time
-	byName      map[string]*Bucket
-	names       []string
-	bucketLives map[string][]units.Time
-}
-
-func newAggregator(cfg Config, workers int) *aggregator {
-	return &aggregator{
-		rep: Report{
-			Scenario: cfg.Scenario.Name(),
-			Devices:  cfg.Devices,
-			Seed:     cfg.Seed,
-			Duration: cfg.Duration,
-			Workers:  workers,
-		},
-		keep:        cfg.KeepResults,
-		byName:      make(map[string]*Bucket),
-		bucketLives: make(map[string][]units.Time),
+		p(res)
 	}
 }
 
-// add folds one device's result into the aggregate. Results must arrive
-// in index order.
-func (a *aggregator) add(r DeviceResult) {
-	rep := &a.rep
-	rep.TotalConsumed += r.Consumed
-	if a.seen == 0 || r.Consumed < rep.MinConsumed {
-		rep.MinConsumed = r.Consumed
+// aggregate is the mergeable core of a Report: integer sums, counts and
+// quantile sketches only — no retained per-device arrays (Results is
+// kept solely under KeepResults), and no floats until finish. Merging
+// two aggregates is element-wise addition, so shard partials combine
+// into exactly the aggregate a single process builds.
+type aggregate struct {
+	seen          int
+	totalConsumed units.Energy
+	minConsumed   units.Energy
+	maxConsumed   units.Energy
+	busyTicks     int64
+	idleTicks     int64
+	polls         int64
+	activations   int64
+	powerUps      int64
+	engineSteps   uint64
+	flowWalks     int64
+	settled       int64
+	dead          int
+	lives         sketch.Hist
+
+	byName  map[string]*bucketAgg
+	results []DeviceResult
+}
+
+// bucketAgg is one scenario bucket's mergeable aggregate.
+type bucketAgg struct {
+	devices     int
+	consumed    units.Energy
+	busyTicks   int64
+	idleTicks   int64
+	polls       int64
+	pages       int64
+	activations int64
+	powerUps    int64
+	sms         int64
+	calls       int64
+	steps       uint64
+	flowWalks   int64
+	settled     int64
+	dead        int
+	lives       sketch.Hist
+}
+
+func newAggregate() *aggregate {
+	return &aggregate{byName: make(map[string]*bucketAgg)}
+}
+
+// add folds one device's result into the aggregate.
+func (a *aggregate) add(r DeviceResult, keep bool) {
+	a.totalConsumed += r.Consumed
+	if a.seen == 0 || r.Consumed < a.minConsumed {
+		a.minConsumed = r.Consumed
 	}
-	if r.Consumed > rep.MaxConsumed {
-		rep.MaxConsumed = r.Consumed
+	if r.Consumed > a.maxConsumed {
+		a.maxConsumed = r.Consumed
 	}
-	rep.MeanUtilization += r.Utilization
-	rep.TotalPolls += r.Polls
-	rep.TotalActivations += r.RadioActivations
-	rep.TotalPowerUps += r.PowerUps
-	rep.TotalEngineSteps += r.EngineSteps
-	rep.TotalFlowWalks += r.FlowWalks
-	rep.TotalSettledBatches += r.SettledBatches
+	a.busyTicks += r.BusyTicks
+	a.idleTicks += r.IdleTicks
+	a.polls += r.Polls
+	a.activations += r.RadioActivations
+	a.powerUps += r.PowerUps
+	a.engineSteps += r.EngineSteps
+	a.flowWalks += r.FlowWalks
+	a.settled += r.SettledBatches
 	if r.Died {
-		rep.Dead++
-		a.lives = append(a.lives, r.DiedAt)
+		a.dead++
+		a.lives.Add(int64(r.DiedAt))
 	}
 	a.seen++
 
 	b := a.byName[r.Scenario]
 	if b == nil {
-		b = &Bucket{Name: r.Scenario}
+		b = &bucketAgg{}
 		a.byName[r.Scenario] = b
-		a.names = append(a.names, r.Scenario)
 	}
-	b.Devices++
-	b.TotalConsumed += r.Consumed
-	b.MeanUtilization += r.Utilization
-	b.Polls += r.Polls
-	b.Pages += r.Pages
-	b.Activations += r.RadioActivations
-	b.PowerUps += r.PowerUps
-	b.SMSSent += r.SMSSent
-	b.Calls += r.CallsPlaced
-	// Accumulated as a total here, divided into a mean in finish —
-	// the same pattern as MeanUtilization.
-	b.MeanSteps += r.EngineSteps
-	b.MeanFlowWalks += r.FlowWalks
-	b.MeanSettledBatches += r.SettledBatches
+	b.devices++
+	b.consumed += r.Consumed
+	b.busyTicks += r.BusyTicks
+	b.idleTicks += r.IdleTicks
+	b.polls += r.Polls
+	b.pages += r.Pages
+	b.activations += r.RadioActivations
+	b.powerUps += r.PowerUps
+	b.sms += r.SMSSent
+	b.calls += r.CallsPlaced
+	b.steps += r.EngineSteps
+	b.flowWalks += r.FlowWalks
+	b.settled += r.SettledBatches
 	if r.Died {
-		b.Dead++
-		a.bucketLives[r.Scenario] = append(a.bucketLives[r.Scenario], r.DiedAt)
+		b.dead++
+		b.lives.Add(int64(r.DiedAt))
 	}
 
-	if a.keep {
-		rep.Results = append(rep.Results, r)
+	if keep {
+		a.results = append(a.results, r)
 	}
 }
 
-// finish computes the means and percentiles and assembles the sorted
-// bucket list.
-func (a *aggregator) finish() Report {
-	rep := a.rep
-	rep.MeanConsumed = rep.TotalConsumed / units.Energy(rep.Devices)
-	rep.MeanUtilization /= float64(rep.Devices)
-	if len(a.lives) > 0 {
-		sort.Slice(a.lives, func(i, j int) bool { return a.lives[i] < a.lives[j] })
-		rep.LifeP50 = percentile(a.lives, 50)
-		rep.LifeP90 = percentile(a.lives, 90)
-	}
-	sort.Strings(a.names)
-	rep.Buckets = make([]Bucket, 0, len(a.names))
-	for _, n := range a.names {
-		b := a.byName[n]
-		b.MeanConsumed = b.TotalConsumed / units.Energy(b.Devices)
-		b.MeanUtilization /= float64(b.Devices)
-		b.MeanSteps /= uint64(b.Devices)
-		b.MeanFlowWalks /= int64(b.Devices)
-		b.MeanSettledBatches /= int64(b.Devices)
-		if l := a.bucketLives[n]; len(l) > 0 {
-			sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
-			b.LifeP50 = percentile(l, 50)
-			b.LifeP90 = percentile(l, 90)
+// merge folds another aggregate into this one. Every field is an
+// integer sum, a min/max, or a sketch merge — all associative — so any
+// shard grouping produces the identical aggregate.
+func (a *aggregate) merge(o *aggregate) {
+	if o.seen > 0 {
+		if a.seen == 0 || o.minConsumed < a.minConsumed {
+			a.minConsumed = o.minConsumed
 		}
-		rep.Buckets = append(rep.Buckets, *b)
+		if o.maxConsumed > a.maxConsumed {
+			a.maxConsumed = o.maxConsumed
+		}
+	}
+	a.seen += o.seen
+	a.totalConsumed += o.totalConsumed
+	a.busyTicks += o.busyTicks
+	a.idleTicks += o.idleTicks
+	a.polls += o.polls
+	a.activations += o.activations
+	a.powerUps += o.powerUps
+	a.engineSteps += o.engineSteps
+	a.flowWalks += o.flowWalks
+	a.settled += o.settled
+	a.dead += o.dead
+	a.lives.Merge(&o.lives)
+	for name, ob := range o.byName {
+		b := a.byName[name]
+		if b == nil {
+			b = &bucketAgg{}
+			a.byName[name] = b
+		}
+		b.devices += ob.devices
+		b.consumed += ob.consumed
+		b.busyTicks += ob.busyTicks
+		b.idleTicks += ob.idleTicks
+		b.polls += ob.polls
+		b.pages += ob.pages
+		b.activations += ob.activations
+		b.powerUps += ob.powerUps
+		b.sms += ob.sms
+		b.calls += ob.calls
+		b.steps += ob.steps
+		b.flowWalks += ob.flowWalks
+		b.settled += ob.settled
+		b.dead += ob.dead
+		b.lives.Merge(&ob.lives)
+	}
+}
+
+// utilizationPct converts tick sums to the busy percentage.
+func utilizationPct(busy, idle int64) float64 {
+	total := busy + idle
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(busy) / float64(total)
+}
+
+// finish computes means, percentiles and the sorted bucket list.
+func (a *aggregate) finish(cfg Config, workers int) Report {
+	rep := Report{
+		Scenario:            cfg.Scenario.Name(),
+		Devices:             cfg.Devices,
+		Seed:                cfg.Seed,
+		Duration:            cfg.Duration,
+		Workers:             workers,
+		TotalConsumed:       a.totalConsumed,
+		MinConsumed:         a.minConsumed,
+		MaxConsumed:         a.maxConsumed,
+		MeanUtilization:     utilizationPct(a.busyTicks, a.idleTicks),
+		TotalPolls:          a.polls,
+		TotalActivations:    a.activations,
+		TotalPowerUps:       a.powerUps,
+		Dead:                a.dead,
+		TotalEngineSteps:    a.engineSteps,
+		TotalFlowWalks:      a.flowWalks,
+		TotalSettledBatches: a.settled,
+		Results:             a.results,
+	}
+	rep.MeanConsumed = rep.TotalConsumed / units.Energy(rep.Devices)
+	if a.dead > 0 {
+		rep.LifeP50 = units.Time(a.lives.Quantile(50))
+		rep.LifeP90 = units.Time(a.lives.Quantile(90))
+	}
+	names := make([]string, 0, len(a.byName))
+	for n := range a.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	rep.Buckets = make([]Bucket, 0, len(names))
+	for _, n := range names {
+		b := a.byName[n]
+		bk := Bucket{
+			Name:               n,
+			Devices:            b.devices,
+			TotalConsumed:      b.consumed,
+			MeanConsumed:       b.consumed / units.Energy(b.devices),
+			MeanUtilization:    utilizationPct(b.busyTicks, b.idleTicks),
+			Polls:              b.polls,
+			Pages:              b.pages,
+			Activations:        b.activations,
+			PowerUps:           b.powerUps,
+			SMSSent:            b.sms,
+			Calls:              b.calls,
+			MeanSteps:          b.steps / uint64(b.devices),
+			MeanFlowWalks:      b.flowWalks / int64(b.devices),
+			MeanSettledBatches: b.settled / int64(b.devices),
+			Dead:               b.dead,
+		}
+		if b.dead > 0 {
+			bk.LifeP50 = units.Time(b.lives.Quantile(50))
+			bk.LifeP90 = units.Time(b.lives.Quantile(90))
+		}
+		rep.Buckets = append(rep.Buckets, bk)
 	}
 	return rep
-}
-
-// percentile returns the nearest-rank p-th percentile of a sorted,
-// non-empty slice: the value at rank ⌈p·n/100⌉.
-func percentile(sorted []units.Time, p int) units.Time {
-	rank := (p*len(sorted) + 99) / 100
-	if rank < 1 {
-		rank = 1
-	}
-	return sorted[rank-1]
 }
 
 // DeriveSeed maps (fleet seed, device index) to a device RNG seed via

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/sketch"
 	"repro/internal/units"
 )
 
@@ -322,32 +323,24 @@ func TestFleetDeathAtTimeZero(t *testing.T) {
 	}
 }
 
-func TestPercentileNearestRank(t *testing.T) {
-	lives := make([]units.Time, 10)
-	for i := range lives {
-		lives[i] = units.Time(i+1) * units.Second // 1s..10s
+func TestLifeSketchNearestRank(t *testing.T) {
+	// The aggregator's life percentiles come from the mergeable
+	// quantile sketch: nearest-rank semantics over log-linear buckets,
+	// reported as the containing bucket's lower bound.
+	var h sketch.Hist
+	for i := 1; i <= 10; i++ {
+		h.Add(int64(i) * int64(units.Second))
 	}
-	if got := percentile(lives, 50); got != 5*units.Second {
-		t.Errorf("p50 = %v, want 5 s", got)
+	p50 := units.Time(h.Quantile(50))
+	p90 := units.Time(h.Quantile(90))
+	if p50 > 5*units.Second || 5*units.Second-p50 > 5*units.Second>>sketch.SubBits {
+		t.Errorf("p50 = %v, want 5 s within one sub-bucket", p50)
 	}
-	if got := percentile(lives, 90); got != 9*units.Second {
-		t.Errorf("p90 = %v, want 9 s", got)
+	if p90 > 9*units.Second || 9*units.Second-p90 > 9*units.Second>>sketch.SubBits {
+		t.Errorf("p90 = %v, want 9 s within one sub-bucket", p90)
 	}
-	if got := percentile(lives[:1], 90); got != units.Second {
-		t.Errorf("p90 of singleton = %v, want 1 s", got)
-	}
-	// Rank rounding at n=2: ⌈0.5·2⌉ = 1 (the min), ⌈0.9·2⌉ = 2 (the
-	// max) — p90 must round up, not truncate to the min.
-	if got := percentile(lives[:2], 50); got != units.Second {
-		t.Errorf("p50 of pair = %v, want 1 s", got)
-	}
-	if got := percentile(lives[:2], 90); got != 2*units.Second {
-		t.Errorf("p90 of pair = %v, want 2 s", got)
-	}
-	// And at n=10 the ranks are exact decile boundaries (asserted
-	// above); p100 is the max at every n.
-	if got := percentile(lives, 100); got != 10*units.Second {
-		t.Errorf("p100 = %v, want 10 s", got)
+	if p90 <= p50 {
+		t.Errorf("p90 %v not above p50 %v", p90, p50)
 	}
 }
 
@@ -395,14 +388,18 @@ func TestAggregateAllDead(t *testing.T) {
 	if rep.Dead != 2 {
 		t.Fatalf("Dead = %d, want 2", rep.Dead)
 	}
-	// Nearest-rank over two deaths: p50 is the earlier, p90 the later.
+	// Nearest-rank over two deaths: p50 tracks the earlier, p90 the
+	// later — as sketch bucket lower bounds, within one sub-bucket.
 	a, b := rep.Results[0].DiedAt, rep.Results[1].DiedAt
 	lo, hi := a, b
 	if lo > hi {
 		lo, hi = hi, lo
 	}
-	if rep.LifeP50 != lo || rep.LifeP90 != hi {
-		t.Fatalf("percentiles p50 %v p90 %v, want %v and %v", rep.LifeP50, rep.LifeP90, lo, hi)
+	within := func(got, want units.Time) bool {
+		return got <= want && want-got <= want>>sketch.SubBits+1
+	}
+	if !within(rep.LifeP50, lo) || !within(rep.LifeP90, hi) {
+		t.Fatalf("percentiles p50 %v p90 %v, want within a sub-bucket of %v and %v", rep.LifeP50, rep.LifeP90, lo, hi)
 	}
 	if len(rep.Buckets) != 1 || rep.Buckets[0].Dead != 2 ||
 		rep.Buckets[0].LifeP50 != rep.LifeP50 || rep.Buckets[0].LifeP90 != rep.LifeP90 {

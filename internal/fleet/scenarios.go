@@ -119,9 +119,10 @@ func (s SpinnerScenario) Build(d *Device) error {
 // choices).
 func Scenarios() map[string]Scenario {
 	return map[string]Scenario{
-		"poller":       PollerScenario{},
-		"idle":         IdleScenario{},
-		"spinner":      SpinnerScenario{},
-		"dayinthelife": DayInTheLife(),
+		"poller":        PollerScenario{},
+		"idle":          IdleScenario{},
+		"spinner":       SpinnerScenario{},
+		"dayinthelife":  DayInTheLife(),
+		"weekinthelife": WeekInTheLife(),
 	}
 }

@@ -168,6 +168,7 @@ type Kernel struct {
 	taskSched    *sim.Task
 	taskTaps     *sim.Task
 	taskBaseline *sim.Task
+	taskDecay    *sim.Task
 	tapBatch     units.Time
 	// baselinePending is the earliest baseline batch boundary not yet
 	// billed; lastSchedAt is the instant of the last scheduler quantum.
@@ -374,10 +375,19 @@ func (k *Kernel) init(cfg Config, recycle bool) {
 		}
 		k.maybeDeferBatchTask(e, k.taskBaseline)
 	})
+	k.taskDecay = nil
 	if k.Graph.HalfLife() >= 0 {
-		eng.Every("kernel:decay", units.Second, func(*sim.Engine) {
+		k.taskDecay = eng.Every("kernel:decay", units.Second, func(*sim.Engine) {
 			k.Graph.Decay(units.Second)
+			// While no decayable reserve exists, every firing is a no-op
+			// by construction; park until one is created. This is what
+			// lets a quiescent device skip whole simulated hours — the
+			// 1 s decay cadence is otherwise the densest permanent task.
+			if k.Graph.DecayableCount() == 0 {
+				k.taskDecay.Park()
+			}
 		})
+		k.Graph.SetDecayActivityHook(func() { k.taskDecay.Resume() })
 	}
 	if eng.Mode() == sim.ModeNextEvent {
 		eng.SetAdvanceHook(k.syncAtAdvance)
@@ -924,6 +934,59 @@ func (k *Kernel) Battery() *core.Reserve { return k.Graph.Battery() }
 // can ever be paid for again).
 func (k *Kernel) BatteryExhausted() bool {
 	return !k.Graph.Battery().CanConsume(k.kpriv, k.baselinePower().Over(k.tapBatch))
+}
+
+// WatchHorizon returns the latest instant through which the battery
+// provably cannot reach exhaustion, for adaptive battery watchdogs (the
+// fleet's per-second battery watch defers itself to this horizon
+// instead of polling 86 400 times per simulated day). It returns 0 —
+// "do not defer" — unless the device is fully quiescent right now: no
+// active tap, no runnable thread, every peripheral quiescent. In that
+// state the baseline draw is the only drain on the battery, and every
+// way the device can leave the state begins at an executed instant,
+// which only occurs where an event or another task is due — so the
+// horizon is the earlier of (a) the instant baseline draw alone could
+// approach the exhaustion threshold, with a full watch period plus one
+// batch of slack so the watchdog's own grid re-check lands strictly
+// before exhaustion, and (b) the engine's earliest other pending work
+// (`except` is the watchdog itself). Deferring to the horizon detects
+// battery death at exactly the same grid instant dense polling would,
+// which the fleet's dense-watch differential test asserts.
+func (k *Kernel) WatchHorizon(except *sim.Task) units.Time {
+	if k.Eng.Mode() != sim.ModeNextEvent {
+		return 0
+	}
+	if k.Graph.ActiveTapCount() > 0 || k.Sched.RunnableCount() > 0 || !k.devicesQuiescent() {
+		return 0
+	}
+	lvl, err := k.Graph.Battery().Level(k.kpriv)
+	if err != nil {
+		return 0
+	}
+	p := k.baselinePower()
+	thresh := p.Over(k.tapBatch)
+	// Slack: the exhaustion threshold itself, one extra batch for carry
+	// rounding, and one watch period for the deferral's grid ceiling.
+	margin := lvl - 2*thresh
+	if margin <= 0 || p <= 0 {
+		return 0
+	}
+	safe := units.Time(int64(margin) * 1000 / int64(p))
+	period := units.Time(units.Second)
+	if except != nil {
+		period = except.Period
+	}
+	if safe <= period+k.tapBatch {
+		return 0
+	}
+	horizon := k.Eng.Now() + safe - period - k.tapBatch
+	if w := k.Eng.EarliestWork(except); w < horizon {
+		horizon = w
+	}
+	if horizon <= k.Eng.Now() {
+		return 0
+	}
+	return horizon
 }
 
 // Now returns the current simulated time.

@@ -29,6 +29,7 @@ import (
 	"repro/internal/radio"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/snap"
 	"repro/internal/trace"
 	"repro/internal/units"
 )
@@ -68,6 +69,13 @@ type Config struct {
 	// unaffected, but the device can fully quiesce between sessions
 	// (the fleet runner enables this; experiments keep the dense trace).
 	QuiescentSweep bool
+	// NoPoolTrace disables the 100 ms pool-level sampling entirely. The
+	// trace exists for the paper's Fig. 14; at fleet scale it is dead
+	// weight — a device-week accumulates tens of thousands of samples
+	// that no report reads but every checkpoint would have to carry —
+	// so the fleet runner turns it off. Zero value keeps the trace, as
+	// the experiments require.
+	NoPoolTrace bool
 }
 
 // Request is the argument applications pass through the netd gate: a
@@ -259,10 +267,12 @@ func (n *Netd) poolReady(now units.Time) bool {
 // sweep runs periodically: waiting threads keep contributing their tap
 // inflow, and the pool fires when it reaches the threshold.
 func (n *Netd) sweep(now units.Time) {
-	n.poolTrace.Add(now, func() int64 {
-		lvl, _ := n.pool.Level(n.priv)
-		return int64(lvl)
-	}())
+	if !n.cfg.NoPoolTrace {
+		n.poolTrace.Add(now, func() int64 {
+			lvl, _ := n.pool.Level(n.priv)
+			return int64(lvl)
+		}())
+	}
 	if len(n.waiters) == 0 {
 		if n.cfg.QuiescentSweep {
 			n.sweepTask.Park()
@@ -325,3 +335,53 @@ func (n *Netd) runSession(now units.Time, w waiter) {
 
 // WaitingThreads returns the number of blocked callers (diagnostics).
 func (n *Netd) WaitingThreads() int { return len(n.waiters) }
+
+// Snapshot serializes the daemon's mutable state. Waiters cannot be
+// serialized (they hold thread and reserve references into a world the
+// restore rebuilds); the fleet checkpoints only at quiescent instants
+// where none exist, and Restore rejects a snapshot that recorded any.
+func (n *Netd) Snapshot(w *snap.Writer) {
+	w.Section("netd")
+	w.U64(uint64(len(n.waiters)))
+	w.I64(n.stats.Polls)
+	w.I64(n.stats.Blocked)
+	w.I64(n.stats.Immediate)
+	w.I64(n.stats.PowerUps)
+	w.I64(int64(n.stats.Pooled))
+	w.Bool(!n.cfg.NoPoolTrace)
+	if !n.cfg.NoPoolTrace {
+		n.poolTrace.Snapshot(w)
+	}
+}
+
+// Restore overlays a snapshot onto a freshly rebuilt daemon. The pooled
+// reserve's level belongs to the graph's snapshot.
+func (n *Netd) Restore(r *snap.Reader) error {
+	r.Section("netd")
+	waiters := int(r.U64())
+	stats := Stats{
+		Polls:     r.I64(),
+		Blocked:   r.I64(),
+		Immediate: r.I64(),
+		PowerUps:  r.I64(),
+		Pooled:    units.Energy(r.I64()),
+	}
+	traced := r.Bool()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if waiters > 0 {
+		return fmt.Errorf("netd: restore: snapshot recorded %d blocked callers; "+
+			"netd sessions cannot span a checkpoint", waiters)
+	}
+	if traced != !n.cfg.NoPoolTrace {
+		return fmt.Errorf("netd: restore: snapshot pool tracing %v, rebuilt daemon %v", traced, !n.cfg.NoPoolTrace)
+	}
+	if traced {
+		if err := n.poolTrace.Restore(r); err != nil {
+			return err
+		}
+	}
+	n.stats = stats
+	return nil
+}

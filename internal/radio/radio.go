@@ -29,6 +29,7 @@ import (
 	"repro/internal/label"
 	"repro/internal/power"
 	"repro/internal/sim"
+	"repro/internal/snap"
 	"repro/internal/trace"
 	"repro/internal/units"
 )
@@ -360,6 +361,63 @@ func (r *Radio) consumeDevice(e units.Energy) {
 		}
 	}
 	_ = r.graph.Battery().Consume(r.priv, e)
+}
+
+// Snapshot serializes the radio's mutable state: the power state
+// machine, billing carries, activity counters and the state-transition
+// trace. The funding reserve itself belongs to the graph's snapshot.
+func (r *Radio) Snapshot(w *snap.Writer) {
+	w.Section("radio")
+	w.U64(uint64(r.state))
+	w.I64(int64(r.rampEnd))
+	w.I64(int64(r.lastActivity))
+	w.I64(r.plateauScale)
+	w.I64(r.carry)
+	w.I64(int64(r.episodeStart))
+	w.I64(r.stats.Activations)
+	w.I64(r.stats.PacketsSent)
+	w.I64(r.stats.BytesSent)
+	w.I64(r.stats.PacketsReceived)
+	w.I64(r.stats.BytesReceived)
+	w.I64(int64(r.stats.StateEnergy))
+	w.I64(int64(r.stats.DataEnergy))
+	w.I64(int64(r.stats.ActiveTime))
+	r.states.Snapshot(w)
+}
+
+// Restore overlays a snapshot onto a freshly rebuilt radio.
+func (r *Radio) Restore(rd *snap.Reader) error {
+	rd.Section("radio")
+	state := State(rd.U64())
+	rampEnd := units.Time(rd.I64())
+	lastActivity := units.Time(rd.I64())
+	plateauScale := rd.I64()
+	carry := rd.I64()
+	episodeStart := units.Energy(rd.I64())
+	stats := Stats{
+		Activations:     rd.I64(),
+		PacketsSent:     rd.I64(),
+		BytesSent:       rd.I64(),
+		PacketsReceived: rd.I64(),
+		BytesReceived:   rd.I64(),
+		StateEnergy:     units.Energy(rd.I64()),
+		DataEnergy:      units.Energy(rd.I64()),
+		ActiveTime:      units.Time(rd.I64()),
+	}
+	if err := rd.Err(); err != nil {
+		return err
+	}
+	if err := r.states.Restore(rd); err != nil {
+		return err
+	}
+	r.state = state
+	r.rampEnd = rampEnd
+	r.lastActivity = lastActivity
+	r.plateauScale = plateauScale
+	r.carry = carry
+	r.episodeStart = episodeStart
+	r.stats = stats
+	return nil
 }
 
 // DeviceTick advances the state machine and bills state power; the

@@ -23,8 +23,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"sync/atomic"
 
+	"repro/internal/snap"
 	"repro/internal/units"
 )
 
@@ -200,6 +202,46 @@ func firstDueAt(period, phase, from units.Time) units.Time {
 	return from + period - r
 }
 
+// countingSource wraps the engine's seeded random source and counts
+// draws. The wrapper delegates every call, so the random stream is
+// bit-identical to an unwrapped rand.NewSource — but the draw count
+// makes the RNG state snapshotable: Restore replays the recorded number
+// of draws against a freshly seeded source instead of serializing
+// math/rand's opaque internals. Both Int63 and Uint64 advance the
+// underlying generator by exactly one step, so a replay of n Uint64
+// calls reproduces any mix of n draws.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func (s *countingSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.draws = 0
+}
+
+// newCountingSource seeds a counting source. rand.NewSource's concrete
+// type has implemented Source64 since Go 1.8; the assertion is checked
+// so a toolchain change fails loudly instead of silently changing every
+// experiment's random stream.
+func newCountingSource(seed int64) *countingSource {
+	s64, ok := rand.NewSource(seed).(rand.Source64)
+	if !ok {
+		panic("sim: rand.NewSource does not implement Source64")
+	}
+	return &countingSource{src: s64}
+}
+
 // Engine drives simulated time forward.
 type Engine struct {
 	now    units.Time
@@ -208,6 +250,7 @@ type Engine struct {
 	events eventHeap
 	tasks  []*Task
 	rng    *rand.Rand
+	src    *countingSource
 	seq    uint64
 	// steps counts executed instants. In next-event mode it is the
 	// direct measure of how much of the timeline was actually visited —
@@ -249,10 +292,12 @@ func NewEngineMode(seed int64, mode Mode) *Engine {
 	if mode == ModeAuto {
 		mode = DefaultMode()
 	}
+	src := newCountingSource(seed)
 	return &Engine{
 		tick: DefaultTick,
 		mode: mode,
-		rng:  rand.New(rand.NewSource(seed)),
+		rng:  rand.New(src),
+		src:  src,
 	}
 }
 
@@ -286,6 +331,8 @@ func (e *Engine) Reset(seed int64, mode Mode) {
 	e.stopRequested = false
 	e.tasksDirty = false
 	e.advanceHook = nil
+	// rand.Rand.Seed delegates to the counting source's Seed, which also
+	// zeroes the draw counter.
 	e.rng.Seed(seed)
 }
 
@@ -416,6 +463,26 @@ func (e *Engine) RunUntil(end units.Time) units.Time {
 // RunUntil(Now()+d).
 func (e *Engine) Run(d units.Time) units.Time {
 	return e.RunUntil(e.now + d)
+}
+
+// ResumeUntil continues a run from the current instant WITHOUT the
+// Run-boundary re-step: the entry instant is assumed to have been fully
+// executed already (by the RunUntil that ended there, or by the run a
+// snapshot was taken from), so neither the entry advance-hook call nor
+// rewindDue's re-arming happens. It is the continuation primitive
+// checkpoint/resume needs — RunUntil(a) followed by ResumeUntil(b)
+// executes exactly the instants a single RunUntil(b) would have
+// executed, which the resume-equivalence tests assert.
+func (e *Engine) ResumeUntil(end units.Time) units.Time {
+	if end < e.now {
+		panic(fmt.Sprintf("sim: ResumeUntil(%v) is before now %v", end, e.now))
+	}
+	e.stopRequested = false
+	for e.now < end && !e.stopRequested {
+		e.advance(end)
+		e.step()
+	}
+	return e.now
 }
 
 // rewindDue re-arms every task that is due at the current instant by the
@@ -571,6 +638,207 @@ func (e *Engine) PendingEventAt(t units.Time) bool {
 // Work due exactly at such an instant must be left to the re-armed
 // tasks, not settled by the hook, or it would be performed twice.
 func (e *Engine) EntryInstant() bool { return e.entry }
+
+// NextEventAt returns the due time of the earliest pending one-shot
+// event; ok is false when none is pending.
+func (e *Engine) NextEventAt() (units.Time, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].At, true
+}
+
+// EarliestWork returns the earliest instant at which any pending event
+// or any live task other than `except` is due, or MaxTime when nothing
+// is pending. Every state change in the simulation happens at an
+// executed instant, and executed instants only occur where an event or
+// task is due, so nothing can perturb the system strictly before this
+// bound — the safety argument adaptive watchdog tasks (the fleet's
+// battery watch) build their deferral horizon on.
+func (e *Engine) EarliestWork(except *Task) units.Time {
+	earliest := MaxTime
+	if len(e.events) > 0 && e.events[0].At < earliest {
+		earliest = e.events[0].At
+	}
+	for _, t := range e.tasks {
+		if t == except || t.stopped {
+			continue
+		}
+		if t.nextDue < earliest {
+			earliest = t.nextDue
+		}
+	}
+	return earliest
+}
+
+// Snapshot serializes the engine's run state: clock, step and sequence
+// counters, RNG draw count, per-task schedules, and the (At, seq)
+// identity of every pending one-shot event. Event and task *callbacks*
+// are not serialized — Restore runs against an engine whose owner has
+// re-registered the identical callbacks (by rebuilding the device from
+// its deterministic construction path) and validates that the rebuilt
+// schedule matches the snapshot exactly.
+func (e *Engine) Snapshot(w *snap.Writer) {
+	w.Section("engine")
+	w.U64(uint64(e.mode))
+	w.I64(int64(e.tick))
+	w.I64(int64(e.now))
+	w.U64(e.steps)
+	w.U64(e.seq)
+	w.U64(e.src.draws)
+	w.U64(uint64(len(e.tasks)))
+	for _, t := range e.tasks {
+		w.String(t.Name)
+		w.I64(int64(t.Period))
+		w.I64(int64(t.Phase))
+		w.I64(int64(t.nextDue))
+		w.Bool(t.deferred)
+	}
+	w.U64(uint64(len(e.events)))
+	for _, ev := range sortedEvents(e.events) {
+		w.I64(int64(ev.At))
+		w.U64(ev.seq)
+	}
+}
+
+// sortedEvents returns the pending events ordered by (At, seq) — a
+// deterministic serialization order independent of heap layout.
+func sortedEvents(h eventHeap) []*Event {
+	out := make([]*Event, len(h))
+	copy(out, h)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].seq < out[j].seq
+	})
+	return out
+}
+
+// Restore overlays a snapshot onto a freshly rebuilt engine: the caller
+// has re-run the device's deterministic construction sequence (which
+// re-registered every task and install-time event with callbacks
+// intact), and Restore advances the clock, counters and RNG to the
+// snapshot state, prunes the install-time events that had already fired
+// before the snapshot, and validates that what remains matches the
+// snapshot's pending set exactly. Any mismatch — a task list drift, a
+// pending event the rebuild cannot account for (e.g. one scheduled
+// dynamically mid-run, which means the device was not quiescent at the
+// checkpoint), or an RNG that would have to run backwards — is a loud,
+// descriptive error, never a silently wrong engine.
+func (e *Engine) Restore(r *snap.Reader) error {
+	r.Section("engine")
+	mode := Mode(r.U64())
+	tick := units.Time(r.I64())
+	now := units.Time(r.I64())
+	steps := r.U64()
+	seq := r.U64()
+	draws := r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if mode != e.mode {
+		return fmt.Errorf("sim: restore: snapshot mode %v, engine mode %v", mode, e.mode)
+	}
+	if tick != e.tick {
+		return fmt.Errorf("sim: restore: snapshot tick %v, engine tick %v", tick, e.tick)
+	}
+	if now < e.now {
+		return fmt.Errorf("sim: restore: snapshot time %v behind engine time %v", now, e.now)
+	}
+	if draws < e.src.draws {
+		return fmt.Errorf("sim: restore: snapshot has %d RNG draws, engine already at %d", draws, e.src.draws)
+	}
+
+	nTasks := int(r.U64())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if nTasks != len(e.tasks) {
+		return fmt.Errorf("sim: restore: snapshot has %d tasks, rebuilt engine has %d", nTasks, len(e.tasks))
+	}
+	for i := 0; i < nTasks; i++ {
+		name := r.String()
+		period := units.Time(r.I64())
+		phase := units.Time(r.I64())
+		nextDue := units.Time(r.I64())
+		deferred := r.Bool()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		t := e.tasks[i]
+		if t.Name != name || t.Period != period || t.Phase != phase {
+			return fmt.Errorf("sim: restore: task %d is %q(%v+%v), snapshot has %q(%v+%v)",
+				i, t.Name, t.Period, t.Phase, name, period, phase)
+		}
+		t.nextDue = nextDue
+		t.deferred = deferred
+	}
+
+	// The rebuilt engine's seq counter marks the end of construction:
+	// every event scheduled during the rebuild carries a smaller seq. A
+	// pending snapshot event at or past it was scheduled dynamically
+	// mid-run — state the rebuild cannot reproduce.
+	buildSeq := e.seq
+	nEvents := int(r.U64())
+	type evKey struct {
+		at  units.Time
+		seq uint64
+	}
+	want := make(map[evKey]bool, nEvents)
+	for i := 0; i < nEvents; i++ {
+		at := units.Time(r.I64())
+		evSeq := r.U64()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if evSeq >= buildSeq {
+			return fmt.Errorf("sim: restore: pending event at %v (seq %d) was scheduled mid-run; "+
+				"the device was not quiescent at the checkpoint", at, evSeq)
+		}
+		want[evKey{at, evSeq}] = true
+	}
+	// Prune rebuilt install-time events that had already fired before
+	// the snapshot instant, then require exact agreement.
+	live := e.events[:0]
+	for _, ev := range e.events {
+		if ev.At <= now {
+			ev.index = -1
+			ev.Fn = nil
+			continue
+		}
+		live = append(live, ev)
+	}
+	for i := len(live); i < len(e.events); i++ {
+		e.events[i] = nil
+	}
+	e.events = live
+	if len(e.events) != len(want) {
+		return fmt.Errorf("sim: restore: %d pending events after pruning, snapshot has %d",
+			len(e.events), len(want))
+	}
+	for i, ev := range e.events {
+		if !want[evKey{ev.At, ev.seq}] {
+			return fmt.Errorf("sim: restore: rebuilt event at %v (seq %d) not in snapshot", ev.At, ev.seq)
+		}
+		ev.index = i // re-anchor heap bookkeeping after the filter
+	}
+	heap.Init(&e.events)
+
+	// Fast-forward the RNG: both Int63 and Uint64 advance the underlying
+	// source one step, so replaying the draw-count difference lands the
+	// generator in the exact snapshot state.
+	for e.src.draws < draws {
+		e.src.Uint64()
+	}
+	e.now = now
+	e.steps = steps
+	e.seq = seq
+	e.stopRequested = false
+	e.tasksDirty = false
+	e.entry = false
+	return nil
+}
 
 // eventHeap orders events by (At, seq).
 type eventHeap []*Event

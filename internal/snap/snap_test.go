@@ -1,0 +1,127 @@
+package snap
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.Section("alpha")
+	w.U64(0)
+	w.U64(1 << 60)
+	w.I64(-42)
+	w.Bool(true)
+	w.String("hello")
+	w.Bytes([]byte{1, 2, 3})
+	w.Section("beta")
+	w.I64(7)
+	b, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Section("alpha")
+	if got := r.U64(); got != 0 {
+		t.Fatalf("u64: %d", got)
+	}
+	if got := r.U64(); got != 1<<60 {
+		t.Fatalf("u64: %d", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Fatalf("i64: %d", got)
+	}
+	if !r.Bool() {
+		t.Fatal("bool")
+	}
+	if got := r.String(); got != "hello" {
+		t.Fatalf("string: %q", got)
+	}
+	if got := r.Bytes(); len(got) != 3 || got[2] != 3 {
+		t.Fatalf("bytes: %v", got)
+	}
+	r.Section("beta")
+	if got := r.I64(); got != 7 {
+		t.Fatalf("i64: %d", got)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadMagicFailsLoudly(t *testing.T) {
+	b := []byte("NOTASNAPxxxxyyyyzzzz")
+	_, err := Open(b)
+	if !errors.Is(err, ErrMagic) {
+		t.Fatalf("want ErrMagic, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "not a snapshot") {
+		t.Fatalf("error not descriptive: %v", err)
+	}
+}
+
+func TestWrongVersionFailsLoudly(t *testing.T) {
+	w := NewWriter()
+	w.U64(1)
+	b, _ := w.Finish()
+	b[len(Magic)] = 99 // corrupt the version field
+	_, err := Open(b)
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("want ErrVersion, got %v", err)
+	}
+}
+
+func TestCorruptPayloadFailsLoudly(t *testing.T) {
+	w := NewWriter()
+	w.Section("s")
+	w.U64(123456)
+	b, _ := w.Finish()
+	b[len(b)-6] ^= 0xFF // flip a payload bit
+	_, err := Open(b)
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("want ErrChecksum, got %v", err)
+	}
+}
+
+func TestTruncatedFailsLoudly(t *testing.T) {
+	if _, err := Open([]byte("CN")); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+}
+
+func TestWrongSectionFailsLoudly(t *testing.T) {
+	w := NewWriter()
+	w.Section("alpha")
+	b, _ := w.Finish()
+	r, err := Open(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Section("beta")
+	if err := r.Err(); !errors.Is(err, ErrSection) {
+		t.Fatalf("want ErrSection, got %v", err)
+	}
+	if !strings.Contains(r.Err().Error(), `"beta"`) || !strings.Contains(r.Err().Error(), `"alpha"`) {
+		t.Fatalf("error not descriptive: %v", r.Err())
+	}
+}
+
+func TestUnreadTrailerFailsLoudly(t *testing.T) {
+	w := NewWriter()
+	w.U64(1)
+	w.U64(2)
+	b, _ := w.Finish()
+	r, err := Open(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r.U64()
+	if err := r.Close(); !errors.Is(err, ErrSection) {
+		t.Fatalf("want ErrSection for unread payload, got %v", err)
+	}
+}
