@@ -55,9 +55,10 @@ func realMain() int {
 		perDevice = flag.Bool("per-device", false, "also print one line per device (with -json: include per-device results)")
 		fixedTick = flag.Bool("fixed-tick", false, "use the fixed-tick compat engine (A/B timing)")
 		perBatch  = flag.Bool("per-batch", false, "disable closed-form tap settlement (A/B timing)")
+		perSweep  = flag.Bool("per-sweep", false, "disable closed-form netd sweep settlement (A/B timing)")
 		noRecycle = flag.Bool("no-recycle", false, "construct every device from scratch instead of recycling worker machinery (A/B timing)")
 		jsonOut   = flag.Bool("json", false, "emit the deterministic JSON report (docs/fleet-report.md) instead of text")
-		canonOut  = flag.Bool("canonical", false, "with -json: zero the engine diagnostics (engine_steps, flow_walks, settled_batches) — the form that is byte-identical across engine/settle modes and checkpoint/resume")
+		canonOut  = flag.Bool("canonical", false, "with -json: zero the engine diagnostics (engine_steps, flow_walks, settled_batches, settled_sweeps) — the form that is byte-identical across engine/settle modes and checkpoint/resume")
 		sweep     = flag.String("sweep", "", "sweep mode, e.g. battery-j=15000,30000,60000: run the fleet once per value")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -135,6 +136,9 @@ func realMain() int {
 	}
 	if *perBatch {
 		cfg.Settle = kernel.SettlePerBatch
+	}
+	if *perSweep {
+		cfg.NetdSettle = kernel.SettlePerBatch
 	}
 
 	if *shard != "" {

@@ -100,6 +100,19 @@ func (g *Graph) DecayableCount() int { return len(g.decayable) }
 // ActiveTapCount returns the number of taps with a non-zero rate.
 func (g *Graph) ActiveTapCount() int { return len(g.active) }
 
+// notifyTapActivity fires the tap-activity hook if one is installed.
+// Beyond activation, it also runs for rate changes on already-active taps,
+// for deactivations (releaseReserve, SetRate(0)), and for direct
+// reserve-to-reserve transfers: the kernel's hook is an idempotent
+// resume, and closed-form predictions (sweep settlement, throttled
+// scheduler skips) must drop on any change to a reserve's inflow that
+// the flow machinery itself did not produce.
+func (g *Graph) notifyTapActivity() {
+	if g.onTapActivity != nil {
+		g.onTapActivity()
+	}
+}
+
 // setTapActive inserts or removes t from the active set, keeping it
 // sorted by creation order so Flow preserves the original iteration
 // sequence exactly.
@@ -269,10 +282,15 @@ func (g *Graph) releaseReserve(r *Reserve) {
 	if !r.decayExempt {
 		g.decayable = removeFirst(g.decayable, r)
 	}
+	deactivated := false
 	for _, t := range g.taps {
-		if t.src == r || t.sink == r {
+		if (t.src == r || t.sink == r) && t.activeIdx >= 0 {
 			g.setTapActive(t, false)
+			deactivated = true
 		}
+	}
+	if deactivated {
+		g.notifyTapActivity()
 	}
 }
 
@@ -416,6 +434,12 @@ func (g *Graph) Transfer(p label.Priv, src, sink *Reserve, amount units.Energy) 
 	}
 	src.debit(amount)
 	sink.credit(amount)
+	// A transfer credits the sink outside the flow machinery, so any
+	// closed-form prediction keyed on the sink's inflow (sweep
+	// settlement, throttled-quantum skips) is now stale. The hook is an
+	// idempotent resume + invalidate, so firing on every transfer is
+	// cheap in the common case.
+	g.notifyTapActivity()
 	return nil
 }
 

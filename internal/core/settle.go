@@ -98,6 +98,20 @@ func (g *Graph) ReserveDrainedByTap(r *Reserve) bool {
 	return false
 }
 
+// TapsInto appends every active tap whose sink is r to dst (reusing its
+// capacity) and returns the extended slice, in deterministic creation
+// order. Closed-form sweep settlement (netd's pool-crossing horizon)
+// uses it to enumerate a waiter's inflow taps; the sums it computes are
+// order-independent, but determinism keeps replay byte-stable anyway.
+func (g *Graph) TapsInto(r *Reserve, dst []*Tap) []*Tap {
+	for _, t := range g.active {
+		if t.sink == r {
+			dst = append(dst, t)
+		}
+	}
+	return dst
+}
+
 // SettleFlows advances the graph through n consecutive Flow(dt) batches,
 // byte-identical to n sequential Flow calls with no interleaved graph
 // mutation. Batches inside the depletion horizon settle in closed form
@@ -132,8 +146,6 @@ func (g *Graph) planSettle(dt units.Time, extra units.Power) int64 {
 		return 0
 	}
 	if g.flowHook != nil {
-		// The test seam observes every per-batch visit; settlement would
-		// skip it.
 		return 0
 	}
 	g.settleEpoch++
@@ -151,9 +163,6 @@ func (g *Graph) planSettle(dt units.Time, extra units.Power) int64 {
 		return 0
 	}
 	if extra > 0 && g.battery.sensitiveMark == epoch {
-		// A proportional tap reads the battery level every batch while
-		// the caller's interleaved drain changes it between batches: the
-		// two no longer commute.
 		return 0
 	}
 
@@ -166,7 +175,7 @@ func (g *Graph) planSettle(dt units.Time, extra units.Power) int64 {
 			continue
 		}
 		if int64(t.rate) > horizonCap/int64(dt) {
-			return 0 // pathological rate: per-batch arithmetic only
+			return 0
 		}
 		// Sensitive reserves need no depletion bound: every tap touching
 		// them is replayed batch by batch in sequence order, so their
@@ -196,7 +205,7 @@ func (g *Graph) planSettle(dt units.Time, extra units.Power) int64 {
 			continue
 		}
 		if r.settleDrain >= horizonCap {
-			return 0 // saturated drain sum: per-batch arithmetic only
+			return 0
 		}
 		// Worst-case outflow over k batches, in µJ·10⁻³: k × Σ(rate·dt)
 		// plus each draining tap's current carry (the exact telescoped

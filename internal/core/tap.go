@@ -106,6 +106,17 @@ func (t *Tap) Rate() units.Power { return t.rate }
 // Frac returns the proportional fraction (zero for constant taps).
 func (t *Tap) Frac() PPM { return t.frac }
 
+// Active reports whether the tap is in the graph's active set (carries a
+// non-zero rate with live endpoints).
+func (t *Tap) Active() bool { return t.activeIdx >= 0 }
+
+// Carry returns the tap's sub-microjoule flow residue in µJ·10⁻³ (the
+// const-tap carry of OverRem). Closed-form settlement planners (netd's
+// pool-crossing horizon) use it to decompose a settled window into exact
+// per-boundary amounts: over j batches a constant tap moves
+// ⌊(rate·dt·j + carry)/1000⌋ µJ, telescoping exactly.
+func (t *Tap) Carry() int64 { return t.carry }
+
 // SetRate changes a constant tap's rate, the tap_set_rate syscall of
 // Fig. 5. Only a caller that can modify the tap object may change it —
 // the task manager retains exclusive control of foreground taps this way
@@ -126,9 +137,16 @@ func (t *Tap) SetRate(p label.Priv, rate units.Power) error {
 	if rate < 0 {
 		return fmt.Errorf("core: tap %q: negative rate %v", t.name, rate)
 	}
+	wasActive := t.activeIdx >= 0
 	t.kind = TapConst
 	t.rate = rate
 	t.graph.setTapActive(t, t.moves())
+	if wasActive {
+		// setTapActive only fires the activity hook on insertion; a rate
+		// change on an already-active tap (or a deactivation) perturbs
+		// closed-form predictions just the same, so notify here.
+		t.graph.notifyTapActivity()
+	}
 	return nil
 }
 
@@ -146,9 +164,13 @@ func (t *Tap) SetFrac(p label.Priv, frac PPM) error {
 	if frac < 0 || frac > 1_000_000 {
 		return fmt.Errorf("core: tap %q: fraction %d out of [0,1e6] PPM", t.name, frac)
 	}
+	wasActive := t.activeIdx >= 0
 	t.kind = TapProportional
 	t.frac = frac
 	t.graph.setTapActive(t, t.moves())
+	if wasActive {
+		t.graph.notifyTapActivity()
+	}
 	return nil
 }
 

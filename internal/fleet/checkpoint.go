@@ -50,7 +50,14 @@ const (
 // epoch boundary.
 func snapshotDevice(d *Device) ([]byte, error) {
 	if n := d.Netd.WaitingThreads(); n > 0 {
-		return nil, fmt.Errorf("fleet: device %d not checkpoint-quiet: %d callers blocked in netd", d.Index, n)
+		// Netd's parked-sweep and settled-sweep state snapshots fine; what
+		// cannot is a waiter itself — a live reference to a blocked thread
+		// and its billing reserve, plus a pool-crossing prediction over
+		// them, in an object world the restore rebuilds from scratch.
+		return nil, fmt.Errorf("fleet: device %d not checkpoint-quiet: %d callers blocked in netd; "+
+			"a cooperative-pooling session (and its predicted pool-crossing) cannot span a "+
+			"checkpoint — move the epoch boundary to an instant where no poll is in flight",
+			d.Index, n)
 	}
 	w := snap.NewWriter()
 	w.Section("fleet-device")
@@ -153,6 +160,7 @@ func encodeResult(res DeviceResult) ([]byte, error) {
 	w.U64(res.EngineSteps)
 	w.I64(res.FlowWalks)
 	w.I64(res.SettledBatches)
+	w.I64(res.SettledSweeps)
 	return w.Finish()
 }
 
@@ -184,6 +192,7 @@ func decodeResult(blob []byte) (DeviceResult, error) {
 	res.EngineSteps = r.U64()
 	res.FlowWalks = r.I64()
 	res.SettledBatches = r.I64()
+	res.SettledSweeps = r.I64()
 	if err := r.Err(); err != nil {
 		return DeviceResult{}, err
 	}
@@ -242,6 +251,7 @@ func writeEpochHeader(w *snap.Writer, cfg Config, plan epochPlan, e, lo, hi int)
 	w.I64(int64(cfg.LifeResolution))
 	w.U64(uint64(cfg.EngineMode))
 	w.U64(uint64(cfg.Settle))
+	w.U64(uint64(cfg.NetdSettle))
 	w.Bool(cfg.DenseWatch)
 }
 
@@ -259,6 +269,7 @@ func checkEpochHeader(r *snap.Reader, cfg Config, plan epochPlan, e, lo, hi int)
 	lifeRes := units.Time(r.I64())
 	engineMode := r.U64()
 	settle := r.U64()
+	netdSettle := r.U64()
 	dense := r.Bool()
 	if err := r.Err(); err != nil {
 		return err
@@ -279,9 +290,9 @@ func checkEpochHeader(r *snap.Reader, cfg Config, plan epochPlan, e, lo, hi int)
 		return fmt.Errorf("fleet: epoch file battery override %v, run has %v", battery, cfg.BatteryCapacity)
 	case lifeRes != cfg.LifeResolution:
 		return fmt.Errorf("fleet: epoch file life resolution %v, run has %v", lifeRes, cfg.LifeResolution)
-	case engineMode != uint64(cfg.EngineMode) || settle != uint64(cfg.Settle):
-		return fmt.Errorf("fleet: epoch file engine/settle modes (%d,%d) differ from run (%d,%d)",
-			engineMode, settle, uint64(cfg.EngineMode), uint64(cfg.Settle))
+	case engineMode != uint64(cfg.EngineMode) || settle != uint64(cfg.Settle) || netdSettle != uint64(cfg.NetdSettle):
+		return fmt.Errorf("fleet: epoch file engine/settle/netd-settle modes (%d,%d,%d) differ from run (%d,%d,%d)",
+			engineMode, settle, netdSettle, uint64(cfg.EngineMode), uint64(cfg.Settle), uint64(cfg.NetdSettle))
 	case dense != cfg.DenseWatch:
 		return fmt.Errorf("fleet: epoch file dense-watch %v, run has %v", dense, cfg.DenseWatch)
 	}

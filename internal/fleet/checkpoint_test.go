@@ -320,3 +320,98 @@ func TestWatchEquivalence(t *testing.T) {
 		t.Fatal("test fleet had no deaths; watch equivalence not exercised")
 	}
 }
+
+// TestSnapshotMidNetdWaitFails: a device whose caller is blocked inside
+// the cooperative netd pool holds live references — a blocked thread,
+// its billing reserve, the pool-crossing prediction over them — that
+// the restore path rebuilds from scratch and cannot reattach. Such a
+// device must refuse to snapshot with a descriptive error rather than
+// serialize a state it cannot faithfully revive.
+func TestSnapshotMidNetdWaitFails(t *testing.T) {
+	cfg := Config{
+		Devices:  1,
+		Seed:     5,
+		Duration: units.Hour,
+		Workers:  1,
+		Scenario: Compose{Label: "pollers", Phases: []Phase{
+			{Workload: Pollers{Pollers: 2, Interval: 60 * units.Second},
+				Start: 0, Duration: units.Hour},
+		}},
+	}
+	var rg rig
+	d, _, err := buildDevice(cfg, 0, &rg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 600 && d.Netd.WaitingThreads() == 0; i++ {
+		d.Kernel.Run(units.Second)
+	}
+	if d.Netd.WaitingThreads() == 0 {
+		t.Fatal("no netd waiter appeared within 10 simulated minutes")
+	}
+	if _, serr := snapshotDevice(d); serr == nil {
+		t.Fatal("snapshot of a device with blocked netd callers succeeded")
+	} else {
+		for _, want := range []string{"not checkpoint-quiet", "blocked in netd"} {
+			if !strings.Contains(serr.Error(), want) {
+				t.Errorf("snapshot error %q does not mention %q", serr, want)
+			}
+		}
+	}
+}
+
+// TestSnapshotQuietNetdRoundTrips: the complement of the refusal above —
+// a device between workload phases (no waiter, no live container), with
+// closed-form sweep settlement already exercised, must snapshot, restore
+// into a fresh rig and evolve byte-identically to the original from
+// that point on, through a second active phase.
+func TestSnapshotQuietNetdRoundTrips(t *testing.T) {
+	cfg := Config{
+		Devices:  1,
+		Seed:     5,
+		Duration: 2 * units.Hour,
+		Workers:  1,
+		Scenario: Compose{Label: "pollers", Phases: []Phase{
+			{Workload: Pollers{Pollers: 2, Interval: 60 * units.Second},
+				Start: 0, Duration: 30 * units.Minute},
+			{Workload: Pollers{Pollers: 1, Interval: 45 * units.Second},
+				Start: 50 * units.Minute, Duration: 30 * units.Minute},
+		}},
+	}
+	var rg rig
+	d, _, err := buildDevice(cfg, 0, &rg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run through the first phase and into the quiet gap between phases.
+	d.Kernel.Run(40 * units.Minute)
+	if n := d.Netd.WaitingThreads(); n > 0 {
+		t.Fatalf("device not netd-quiet between phases: %d waiters", n)
+	}
+	if d.Netd.Stats().SettledSweeps == 0 {
+		t.Fatal("scenario exercised no closed-form sweep settlement; the round trip would not cover it")
+	}
+	blob, serr := snapshotDevice(d)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	var rg2 rig
+	d2, _, err := buildDevice(cfg, 0, &rg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rerr := restoreDevice(d2, blob); rerr != nil {
+		t.Fatal(rerr)
+	}
+	// Continue both through the second phase to its teardown and beyond.
+	d.Kernel.Run(50 * units.Minute)
+	d2.Kernel.Run(50 * units.Minute)
+	a, aerr := snapshotDevice(d)
+	b, berr := snapshotDevice(d2)
+	if aerr != nil || berr != nil {
+		t.Fatalf("post-restore snapshots failed: %v / %v", aerr, berr)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("restored device diverged from original after identical continuation")
+	}
+}

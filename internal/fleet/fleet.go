@@ -152,6 +152,10 @@ type DeviceResult struct {
 	// (engine-level diagnostics, excluded from CanonicalJSON).
 	FlowWalks      int64
 	SettledBatches int64
+	// SettledSweeps counts netd sweep boundaries accounted in closed
+	// form instead of executed (diagnostics, excluded from
+	// CanonicalJSON).
+	SettledSweeps int64
 }
 
 // Scenario builds a workload onto a device. Implementations must be
@@ -206,6 +210,12 @@ type Config struct {
 	// settlement; the per-batch compat mode exists for A/B timing and
 	// differential tests).
 	Settle kernel.SettleMode
+	// NetdSettle selects netd's sweep strategy independently of the
+	// kernel's (default closed-form pool-crossing prediction; the
+	// per-sweep compat mode exists for A/B timing and differential
+	// tests — the cinder-fleet -per-sweep flag). Reports are
+	// byte-identical either way.
+	NetdSettle kernel.SettleMode
 	// KeepResults retains the per-device result array on the Report.
 	// Off (the default) the run streams each DeviceResult into the
 	// aggregate and drops it, so fleet memory stays O(workers + buckets)
@@ -281,6 +291,7 @@ type Report struct {
 	TotalEngineSteps    uint64
 	TotalFlowWalks      int64
 	TotalSettledBatches int64
+	TotalSettledSweeps  int64
 
 	// Buckets break the fleet down per scenario bucket, sorted by
 	// name. Single-scenario runs have exactly one bucket; Mix fleets
@@ -315,6 +326,7 @@ type Bucket struct {
 	MeanSteps          uint64
 	MeanFlowWalks      int64
 	MeanSettledBatches int64
+	MeanSettledSweeps  int64
 
 	Dead    int
 	LifeP50 units.Time
@@ -385,29 +397,31 @@ type reportJSON struct {
 	EngineSteps    uint64 `json:"engine_steps"`
 	FlowWalks      int64  `json:"flow_walks"`
 	SettledBatches int64  `json:"settled_batches"`
+	SettledSweeps  int64  `json:"settled_sweeps"`
 
 	Buckets []bucketJSON `json:"buckets"`
 	Results []deviceJSON `json:"results,omitempty"`
 }
 
 type bucketJSON struct {
-	Name            string  `json:"name"`
-	Devices         int     `json:"devices"`
-	TotalConsumedUJ int64   `json:"total_consumed_uj"`
-	MeanConsumedUJ  int64   `json:"mean_consumed_uj"`
-	MeanUtilization float64 `json:"mean_utilization_pct"`
-	Polls           int64   `json:"polls"`
-	Pages           int64   `json:"pages"`
-	Activations     int64   `json:"radio_activations"`
-	PowerUps        int64   `json:"netd_power_ups"`
-	SMSSent         int64   `json:"sms_sent"`
-	Calls           int64   `json:"calls_placed"`
-	MeanSteps       uint64  `json:"mean_engine_steps"`
-	MeanFlowWalks   int64   `json:"mean_flow_walks"`
-	MeanSettled     int64   `json:"mean_settled_batches"`
-	Dead            int     `json:"dead"`
-	LifeP50MS       int64   `json:"life_p50_ms"`
-	LifeP90MS       int64   `json:"life_p90_ms"`
+	Name              string  `json:"name"`
+	Devices           int     `json:"devices"`
+	TotalConsumedUJ   int64   `json:"total_consumed_uj"`
+	MeanConsumedUJ    int64   `json:"mean_consumed_uj"`
+	MeanUtilization   float64 `json:"mean_utilization_pct"`
+	Polls             int64   `json:"polls"`
+	Pages             int64   `json:"pages"`
+	Activations       int64   `json:"radio_activations"`
+	PowerUps          int64   `json:"netd_power_ups"`
+	SMSSent           int64   `json:"sms_sent"`
+	Calls             int64   `json:"calls_placed"`
+	MeanSteps         uint64  `json:"mean_engine_steps"`
+	MeanFlowWalks     int64   `json:"mean_flow_walks"`
+	MeanSettled       int64   `json:"mean_settled_batches"`
+	MeanSettledSweeps int64   `json:"mean_settled_sweeps"`
+	Dead              int     `json:"dead"`
+	LifeP50MS         int64   `json:"life_p50_ms"`
+	LifeP90MS         int64   `json:"life_p90_ms"`
 }
 
 type deviceJSON struct {
@@ -428,6 +442,7 @@ type deviceJSON struct {
 	EngineSteps    uint64  `json:"engine_steps"`
 	FlowWalks      int64   `json:"flow_walks"`
 	SettledBatches int64   `json:"settled_batches"`
+	SettledSweeps  int64   `json:"settled_sweeps"`
 }
 
 // JSON renders the report as deterministic, worker-count-independent
@@ -469,6 +484,7 @@ func (r Report) marshalJSON(perDevice, canonical bool) ([]byte, error) {
 		out.EngineSteps = r.TotalEngineSteps
 		out.FlowWalks = r.TotalFlowWalks
 		out.SettledBatches = r.TotalSettledBatches
+		out.SettledSweeps = r.TotalSettledSweeps
 	}
 	for _, b := range r.Buckets {
 		bj := bucketJSON{
@@ -491,6 +507,7 @@ func (r Report) marshalJSON(perDevice, canonical bool) ([]byte, error) {
 			bj.MeanSteps = b.MeanSteps
 			bj.MeanFlowWalks = b.MeanFlowWalks
 			bj.MeanSettled = b.MeanSettledBatches
+			bj.MeanSettledSweeps = b.MeanSettledSweeps
 		}
 		out.Buckets = append(out.Buckets, bj)
 	}
@@ -516,6 +533,7 @@ func (r Report) marshalJSON(perDevice, canonical bool) ([]byte, error) {
 				dj.EngineSteps = d.EngineSteps
 				dj.FlowWalks = d.FlowWalks
 				dj.SettledBatches = d.SettledBatches
+				dj.SettledSweeps = d.SettledSweeps
 			}
 			out.Results = append(out.Results, dj)
 		}
@@ -780,7 +798,7 @@ func buildDevice(cfg Config, idx int, rg *rig) (*Device, *DeviceResult, error) {
 	if p, ok := cfg.Scenario.(Provisioner); ok && kcfg.BatteryCapacity == 0 {
 		kcfg.BatteryCapacity = p.Provision(idx, seed).BatteryCapacity
 	}
-	ncfg := netd.Config{Cooperative: true, QuiescentSweep: true, NoPoolTrace: true}
+	ncfg := netd.Config{Cooperative: true, QuiescentSweep: true, NoPoolTrace: true, Settle: cfg.NetdSettle}
 	if cfg.NoRecycle {
 		*rg = rig{}
 	}
@@ -839,7 +857,7 @@ func buildDevice(cfg Config, idx int, rg *rig) (*Device, *DeviceResult, error) {
 	}
 	var watch *sim.Task
 	watch = k.Eng.Every("fleet:battery-watch", lifeRes, func(e *sim.Engine) {
-		if !res.Died && k.BatteryExhausted() {
+		if !res.Died && k.BatteryExhaustedFor(watchSustain(lifeRes)) {
 			res.Died = true
 			res.DiedAt = e.Now()
 			e.Stop() // dead device: nothing left to measure
@@ -875,6 +893,7 @@ func extractResult(d *Device, res *DeviceResult) {
 	res.EngineSteps = k.Eng.Steps()
 	res.FlowWalks = k.Graph.FlowWalks()
 	res.SettledBatches = k.Graph.SettledBatches()
+	res.SettledSweeps = d.Netd.Stats().SettledSweeps
 	if d.Smdd != nil {
 		s := d.Smdd.Stats()
 		res.SMSSent = s.SMSSent
@@ -903,6 +922,7 @@ type aggregate struct {
 	engineSteps   uint64
 	flowWalks     int64
 	settled       int64
+	settledSweeps int64
 	dead          int
 	lives         sketch.Hist
 
@@ -912,21 +932,22 @@ type aggregate struct {
 
 // bucketAgg is one scenario bucket's mergeable aggregate.
 type bucketAgg struct {
-	devices     int
-	consumed    units.Energy
-	busyTicks   int64
-	idleTicks   int64
-	polls       int64
-	pages       int64
-	activations int64
-	powerUps    int64
-	sms         int64
-	calls       int64
-	steps       uint64
-	flowWalks   int64
-	settled     int64
-	dead        int
-	lives       sketch.Hist
+	devices       int
+	consumed      units.Energy
+	busyTicks     int64
+	idleTicks     int64
+	polls         int64
+	pages         int64
+	activations   int64
+	powerUps      int64
+	sms           int64
+	calls         int64
+	steps         uint64
+	flowWalks     int64
+	settled       int64
+	settledSweeps int64
+	dead          int
+	lives         sketch.Hist
 }
 
 func newAggregate() *aggregate {
@@ -950,6 +971,7 @@ func (a *aggregate) add(r DeviceResult, keep bool) {
 	a.engineSteps += r.EngineSteps
 	a.flowWalks += r.FlowWalks
 	a.settled += r.SettledBatches
+	a.settledSweeps += r.SettledSweeps
 	if r.Died {
 		a.dead++
 		a.lives.Add(int64(r.DiedAt))
@@ -974,6 +996,7 @@ func (a *aggregate) add(r DeviceResult, keep bool) {
 	b.steps += r.EngineSteps
 	b.flowWalks += r.FlowWalks
 	b.settled += r.SettledBatches
+	b.settledSweeps += r.SettledSweeps
 	if r.Died {
 		b.dead++
 		b.lives.Add(int64(r.DiedAt))
@@ -1006,6 +1029,7 @@ func (a *aggregate) merge(o *aggregate) {
 	a.engineSteps += o.engineSteps
 	a.flowWalks += o.flowWalks
 	a.settled += o.settled
+	a.settledSweeps += o.settledSweeps
 	a.dead += o.dead
 	a.lives.Merge(&o.lives)
 	for name, ob := range o.byName {
@@ -1027,6 +1051,7 @@ func (a *aggregate) merge(o *aggregate) {
 		b.steps += ob.steps
 		b.flowWalks += ob.flowWalks
 		b.settled += ob.settled
+		b.settledSweeps += ob.settledSweeps
 		b.dead += ob.dead
 		b.lives.Merge(&ob.lives)
 	}
@@ -1060,6 +1085,7 @@ func (a *aggregate) finish(cfg Config, workers int) Report {
 		TotalEngineSteps:    a.engineSteps,
 		TotalFlowWalks:      a.flowWalks,
 		TotalSettledBatches: a.settled,
+		TotalSettledSweeps:  a.settledSweeps,
 		Results:             a.results,
 	}
 	rep.MeanConsumed = rep.TotalConsumed / units.Energy(rep.Devices)
@@ -1090,6 +1116,7 @@ func (a *aggregate) finish(cfg Config, workers int) Report {
 			MeanSteps:          b.steps / uint64(b.devices),
 			MeanFlowWalks:      b.flowWalks / int64(b.devices),
 			MeanSettledBatches: b.settled / int64(b.devices),
+			MeanSettledSweeps:  b.settledSweeps / int64(b.devices),
 			Dead:               b.dead,
 		}
 		if b.dead > 0 {
@@ -1129,4 +1156,19 @@ func (s *splitmix) Intn(n int64) int64 {
 		panic("fleet: Intn on non-positive bound")
 	}
 	return int64(s.Next() % uint64(n))
+}
+
+// watchSustain is the horizon the battery watch requires the battery to
+// sustain at baseline draw before declaring the device alive: the watch
+// resolution, capped at one second so coarse life resolutions do not
+// shave measurable life off the end. A drained device whose clamped
+// taps and decay refunds keep the level floating a batch or two above
+// the billing quantum would otherwise zombie along — executing its full
+// per-instant load, consuming nothing, measuring nothing — until some
+// teardown returns enough energy to finish dying.
+func watchSustain(lifeRes units.Time) units.Time {
+	if lifeRes > units.Second {
+		return units.Second
+	}
+	return lifeRes
 }

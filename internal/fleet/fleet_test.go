@@ -138,12 +138,12 @@ func TestFleetModeEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// EngineSteps, FlowWalks and SettledBatches are the fields that
-	// legitimately differ between modes (they measure how many instants
-	// the engine visited and how flow batches were advanced — precisely
-	// what next-event advancement and closed-form settlement reduce);
-	// instants must be *fewer* under next-event, and everything else
-	// identical.
+	// EngineSteps, FlowWalks, SettledBatches and SettledSweeps are the
+	// fields that legitimately differ between modes (they measure how
+	// many instants the engine visited and how flow batches and netd
+	// sweeps were advanced — precisely what next-event advancement and
+	// closed-form settlement reduce); instants must be *fewer* under
+	// next-event, and everything else identical.
 	for i := range a.Results {
 		if b.Results[i].EngineSteps < a.Results[i].EngineSteps {
 			t.Fatalf("device %d: next-event executed more instants (%d) than fixed-tick (%d)",
@@ -155,6 +155,8 @@ func TestFleetModeEquivalence(t *testing.T) {
 		b.Results[i].FlowWalks = 0
 		a.Results[i].SettledBatches = 0
 		b.Results[i].SettledBatches = 0
+		a.Results[i].SettledSweeps = 0
+		b.Results[i].SettledSweeps = 0
 	}
 	if !reflect.DeepEqual(a.Results, b.Results) {
 		t.Fatalf("engine mode changed fleet results:\n%s\nvs\n%s", a.Format(), b.Format())

@@ -38,6 +38,7 @@ type Partial struct {
 	BatteryUJ        int64  `json:"battery_uj"`
 	EngineMode       uint8  `json:"engine_mode"`
 	SettleMode       uint8  `json:"settle_mode"`
+	NetdSettleMode   uint8  `json:"netd_settle_mode"`
 	LifeResolutionMS int64  `json:"life_resolution_ms"`
 	DenseWatch       bool   `json:"dense_watch,omitempty"`
 
@@ -64,6 +65,7 @@ type partialAgg struct {
 	EngineSteps     uint64     `json:"engine_steps"`
 	FlowWalks       int64      `json:"flow_walks"`
 	SettledBatches  int64      `json:"settled_batches"`
+	SettledSweeps   int64      `json:"settled_sweeps"`
 	Dead            int        `json:"dead"`
 	Lives           [][2]int64 `json:"lives,omitempty"`
 }
@@ -84,6 +86,7 @@ type partialBucket struct {
 	EngineSteps     uint64     `json:"engine_steps"`
 	FlowWalks       int64      `json:"flow_walks"`
 	SettledBatches  int64      `json:"settled_batches"`
+	SettledSweeps   int64      `json:"settled_sweeps"`
 	Dead            int        `json:"dead"`
 	Lives           [][2]int64 `json:"lives,omitempty"`
 }
@@ -130,6 +133,7 @@ func packPartial(cfg Config, a *aggregate) *Partial {
 		BatteryUJ:        int64(cfg.BatteryCapacity),
 		EngineMode:       uint8(mode),
 		SettleMode:       uint8(cfg.Settle),
+		NetdSettleMode:   uint8(cfg.NetdSettle),
 		LifeResolutionMS: int64(cfg.LifeResolution),
 		DenseWatch:       cfg.DenseWatch,
 		ShardIndex:       cfg.ShardIndex,
@@ -149,6 +153,7 @@ func packPartial(cfg Config, a *aggregate) *Partial {
 			EngineSteps:     a.engineSteps,
 			FlowWalks:       a.flowWalks,
 			SettledBatches:  a.settled,
+			SettledSweeps:   a.settledSweeps,
 			Dead:            a.dead,
 			Lives:           sparseLives(&a.lives),
 		},
@@ -175,6 +180,7 @@ func packPartial(cfg Config, a *aggregate) *Partial {
 			EngineSteps:     b.steps,
 			FlowWalks:       b.flowWalks,
 			SettledBatches:  b.settled,
+			SettledSweeps:   b.settledSweeps,
 			Dead:            b.dead,
 			Lives:           sparseLives(&b.lives),
 		})
@@ -226,26 +232,28 @@ func (p *Partial) unpack() *aggregate {
 	a.engineSteps = p.Agg.EngineSteps
 	a.flowWalks = p.Agg.FlowWalks
 	a.settled = p.Agg.SettledBatches
+	a.settledSweeps = p.Agg.SettledSweeps
 	a.dead = p.Agg.Dead
 	for _, pair := range p.Agg.Lives {
 		a.lives.AddBucket(int(pair[0]), uint64(pair[1]))
 	}
 	for _, pb := range p.Buckets {
 		b := &bucketAgg{
-			devices:     pb.Devices,
-			consumed:    units.Energy(pb.TotalConsumedUJ),
-			busyTicks:   pb.BusyTicks,
-			idleTicks:   pb.IdleTicks,
-			polls:       pb.Polls,
-			pages:       pb.Pages,
-			activations: pb.Activations,
-			powerUps:    pb.PowerUps,
-			sms:         pb.SMSSent,
-			calls:       pb.Calls,
-			steps:       pb.EngineSteps,
-			flowWalks:   pb.FlowWalks,
-			settled:     pb.SettledBatches,
-			dead:        pb.Dead,
+			devices:       pb.Devices,
+			consumed:      units.Energy(pb.TotalConsumedUJ),
+			busyTicks:     pb.BusyTicks,
+			idleTicks:     pb.IdleTicks,
+			polls:         pb.Polls,
+			pages:         pb.Pages,
+			activations:   pb.Activations,
+			powerUps:      pb.PowerUps,
+			sms:           pb.SMSSent,
+			calls:         pb.Calls,
+			steps:         pb.EngineSteps,
+			flowWalks:     pb.FlowWalks,
+			settled:       pb.SettledBatches,
+			settledSweeps: pb.SettledSweeps,
+			dead:          pb.Dead,
 		}
 		for _, pair := range pb.Lives {
 			b.lives.AddBucket(int(pair[0]), uint64(pair[1]))
@@ -284,6 +292,7 @@ func Merge(parts []*Partial, scenario Scenario) (Report, error) {
 		case p.Scenario != ref.Scenario || p.Devices != ref.Devices || p.Seed != ref.Seed ||
 			p.DurationMS != ref.DurationMS || p.BatteryUJ != ref.BatteryUJ ||
 			p.EngineMode != ref.EngineMode || p.SettleMode != ref.SettleMode ||
+			p.NetdSettleMode != ref.NetdSettleMode ||
 			p.LifeResolutionMS != ref.LifeResolutionMS || p.DenseWatch != ref.DenseWatch ||
 			p.ShardCount != ref.ShardCount:
 			return Report{}, fmt.Errorf("fleet: partial %d/%d does not match partial %d/%d: "+

@@ -188,6 +188,12 @@ type Kernel struct {
 	// so settleBatches can hand SettleFlows its interleave callback
 	// without allocating a closure per settlement window.
 	billBaselineFn func(int64)
+	// settlers are the registered SweepSettlers (netd), synchronized at
+	// every executed instant and invalidated from the activity hooks.
+	settlers []SweepSettler
+	// skipTaps is scratch for the throttled-quantum skip's inflow scan,
+	// keeping the busy-path prediction allocation-free.
+	skipTaps []*core.Tap
 }
 
 // deviceEntry caches a registered device's optional capabilities.
@@ -249,6 +255,29 @@ type SettleableDevice interface {
 	// nothing. Devices whose billing targets change over time implement
 	// SettleGuardDevice instead, which supersedes the account check.
 	SettleAccounts() []*core.Reserve
+}
+
+// SweepSettler is implemented by subsystems that own a periodic task
+// whose firings can be settled in closed form between executed instants
+// (netd's 100 ms pool sweep). The subsystem parks or defers its own task
+// when it can predict the next firing that matters; the kernel then keeps
+// it exact by calling:
+//
+//   - SyncSweeps from the advance hook at every executed instant, after
+//     tap/baseline/device settlement has caught up strictly before the
+//     instant — the settler replays the firings its parked task skipped
+//     and, if a firing is due exactly now, re-arms the task so it fires
+//     in its registration slot (after the kernel's own boundary tasks);
+//   - SettleSweeps at the end of a Run, after the kernel's at-now
+//     boundary work, where no task firing can cover the stop instant;
+//   - InvalidateSweeps whenever an activity hook fires (thread woken,
+//     tap activated/changed/released, decayable created, radio woken):
+//     anything that could perturb the prediction returns the task to its
+//     periodic grid until the settler re-establishes one.
+type SweepSettler interface {
+	SyncSweeps(now units.Time)
+	SettleSweeps(now units.Time)
+	InvalidateSweeps()
 }
 
 // SettleGuardDevice optionally refines SettleableDevice for devices
@@ -318,6 +347,8 @@ func (k *Kernel) init(cfg Config, recycle bool) {
 	k.tapsPending = 0
 	k.devicesPending = 0
 	k.billBaselineFn = k.billBaselineBatches
+	clear(k.settlers)
+	k.settlers = k.settlers[:0]
 
 	batteryLabel := label.Public().With(k.sysCategory, label.Level2)
 	graphCfg := core.Config{
@@ -387,7 +418,12 @@ func (k *Kernel) init(cfg Config, recycle bool) {
 				k.taskDecay.Park()
 			}
 		})
-		k.Graph.SetDecayActivityHook(func() { k.taskDecay.Resume() })
+		k.Graph.SetDecayActivityHook(func() {
+			k.taskDecay.Resume()
+			// A new decayable reserve introduces 1 s decay bites that a
+			// sweep settler's prediction did not model.
+			k.invalidateSettlers()
+		})
 	}
 	if eng.Mode() == sim.ModeNextEvent {
 		eng.SetAdvanceHook(k.syncAtAdvance)
@@ -410,16 +446,21 @@ func (k *Kernel) devicesQuiescent() bool {
 }
 
 // maybeQuiesceSched defers the scheduler task when its next quanta are
-// provably idle: no runnable thread means no billing and no runner
-// steps, so skipped quanta are pure idleTicks (settled in closed form by
-// the catch-up in the task body and by settle). The task defers to the
-// earliest sleeping-thread wake, or parks outright when nothing is
-// pending; thread creation and Wake resume it instantly via the
-// scheduler's activity hook. It runs from within the scheduler task's
-// own callback — the engine preserves a self-deferral instead of
-// rearming the task on its period grid.
+// provably idle: either no thread is runnable, or every runnable thread
+// is energy-throttled past the deferral target (maybeSkipThrottled). In
+// both regimes skipped quanta are pure idleTicks, settled in closed
+// form by the catch-up in the task body and by settle. The task defers
+// to the earliest sleeping-thread wake (or throttle pay-off bound), or
+// parks outright when nothing is pending; thread creation, Wake and
+// reserve activity resume it instantly via the activity hooks. It runs
+// from within the scheduler task's own callback — the engine preserves
+// a self-deferral instead of rearming the task on its period grid.
 func (k *Kernel) maybeQuiesceSched(now units.Time) {
-	if k.Eng.Mode() != sim.ModeNextEvent || k.Sched.RunnableCount() > 0 {
+	if k.Eng.Mode() != sim.ModeNextEvent {
+		return
+	}
+	if k.Sched.RunnableCount() > 0 {
+		k.maybeSkipThrottled(now)
 		return
 	}
 	if wake, ok := k.Sched.NextWake(); ok {
@@ -427,6 +468,139 @@ func (k *Kernel) maybeQuiesceSched(now units.Time) {
 	} else {
 		k.taskSched.Park()
 	}
+}
+
+// maybeSkipThrottled defers the scheduler task across a span of quanta
+// that are provably throttled: runnable threads exist, but none of them
+// can pay for a quantum before the deferral target even if every
+// constant tap feeding its reserves were credited unclamped. This is
+// the engine-side complement of §3.2's energy throttling — a thread in
+// debt with a slow pay-down tap otherwise pins the scheduler (and, via
+// the per-instant settlement dance, the whole kernel) at tick rate for
+// the entire pay-down, the dominant instant cost of a device's final
+// browse-in-debt minutes.
+//
+// Exactness: in a tick-by-tick run every skipped quantum is an idle
+// tick (Tick finds no payable thread), so the closed-form catch-up in
+// the task body and in settle reproduces Consumed, BusyTicks, IdleTicks
+// and Utilization byte-identically. Only the per-thread throttle
+// diagnostic and per-reserve ConsumeFailures stop counting attempts
+// that were never made; neither feeds a Result. The bound is sound
+// because every ignored effect — clamping, decay leakage, outflow taps,
+// other threads' billing — only lowers a reserve's true level below the
+// unclamped-inflow projection, and every credit outside the flow
+// machinery (transfers, reserve teardown refunds, draw-list changes,
+// thread wakes) fires an activity hook that resumes the task.
+func (k *Kernel) maybeSkipThrottled(now units.Time) {
+	tick := k.Eng.Tick()
+	cost := k.Sched.CPUPower().Over(tick)
+	if cost <= 0 {
+		return // free quanta always run
+	}
+	earliest := sim.MaxTime
+	sound := true
+	k.Sched.EachThread(func(t *sched.Thread) {
+		if !sound || earliest <= now+tick || t.State() != sched.Runnable {
+			return
+		}
+		e, ok := k.threadPayableBound(t, cost, now, tick)
+		if !ok {
+			sound = false
+			return
+		}
+		if e < earliest {
+			earliest = e
+		}
+	})
+	if !sound || earliest <= now+tick {
+		return // unpredictable, or a thread may already run next quantum
+	}
+	if wake, ok := k.Sched.NextWake(); ok && wake < earliest {
+		earliest = wake
+	}
+	if earliest <= now+tick {
+		return
+	}
+	if earliest == sim.MaxTime {
+		// No inflow can ever make a thread payable and nothing sleeps:
+		// only hooked activity (a transfer, a new tap, a wake) can change
+		// that, and the hook resumes the task.
+		k.taskSched.Park()
+		return
+	}
+	k.taskSched.DeferUntil(earliest)
+}
+
+// threadPayableBound returns a lower bound on the first scheduler
+// instant > now at which t could afford one quantum. ok is false when
+// no sound bound exists from inflow alone: a reserve whose label the
+// thread cannot currently use (a relabel is unhooked), the battery
+// (credited by decay and teardown refunds outside the hooks), an
+// unreadable level, or proportional inflow (level-coupled, does not
+// telescope). Dead reserves can never pay again and are skipped.
+func (k *Kernel) threadPayableBound(t *sched.Thread, cost units.Energy, now, tick units.Time) (units.Time, bool) {
+	earliest := sim.MaxTime
+	bat := k.Graph.Battery()
+	sound := true
+	t.EachReserve(func(r *core.Reserve) bool {
+		if r.Dead() {
+			return true
+		}
+		if r == bat || !t.Priv().CanUse(r.Label()) {
+			sound = false
+			return false
+		}
+		lvl, err := r.Level(k.kpriv)
+		if err != nil {
+			sound = false
+			return false
+		}
+		if lvl >= cost {
+			// Payable already: round-robin reaches it next quantum.
+			earliest = now + tick
+			return false
+		}
+		deficit := int64(cost - lvl)
+		if deficit > 1<<40 {
+			// Far beyond any modeled reserve; refuse rather than risk
+			// overflow in the fixed-point arithmetic below.
+			sound = false
+			return false
+		}
+		k.skipTaps = k.Graph.TapsInto(r, k.skipTaps[:0])
+		var num, carry int64
+		for _, tp := range k.skipTaps {
+			if tp.Kind() != core.TapConst {
+				sound = false
+				return false
+			}
+			num += int64(tp.Rate()) * int64(k.tapBatch)
+			carry += tp.Carry()
+		}
+		if num <= 0 {
+			return true // no standing inflow; only hooked activity refills
+		}
+		// Smallest batch count q whose unclamped telescoped credit
+		// (num·q + carry) div 1000 covers the deficit. The telescoped sum
+		// over-credits the real flow (per-tap floors and source clamping
+		// only lose energy), so the true first-payable instant is never
+		// earlier than the bound.
+		need := deficit*1000 - carry
+		q := (need + num - 1) / num
+		if q < 1 {
+			q = 1
+		}
+		// The q-th future batch boundary (multiples of tapBatch at or
+		// after now; the boundary at now itself has not credited when the
+		// scheduler observes lvl) must have settled strictly before the
+		// first quantum that could pay.
+		b0 := now + (k.tapBatch-now%k.tapBatch)%k.tapBatch
+		if e := b0 + units.Time(q-1)*k.tapBatch + 1; e < earliest {
+			earliest = e
+		}
+		return true
+	})
+	return earliest, sound
 }
 
 // maybeDeferBatchTask parks a batch-grained task (tap flows, baseline
@@ -470,6 +644,18 @@ func (k *Kernel) resumeKernelTasks() {
 	if !k.lazySettle {
 		k.taskTaps.Resume()
 		k.taskBaseline.ResumeAt(k.baselinePending)
+	}
+	// Every activity this hook observes — a thread able to run, a tap
+	// activated, changed or released, the radio waking — can perturb a
+	// sweep settler's closed-form prediction; drop it and let the settler
+	// re-establish one from post-activity state.
+	k.invalidateSettlers()
+}
+
+// invalidateSettlers drops every registered sweep settler's prediction.
+func (k *Kernel) invalidateSettlers() {
+	for _, s := range k.settlers {
+		s.InvalidateSweeps()
 	}
 }
 
@@ -518,10 +704,22 @@ func (k *Kernel) fastBoundary(now units.Time) bool {
 		return false
 	}
 	if k.devicesPending > now && k.tapsPending > now && k.baselinePending > now {
+		k.syncSettlers(now)
 		return true // nothing due through now
 	}
 	k.settleWindow(now, now, now)
+	k.syncSettlers(now)
 	return true
+}
+
+// syncSettlers lets every sweep settler replay the firings its parked
+// task skipped strictly before now (tap batches through those boundaries
+// are settled by the time this runs) and re-arm the task if a firing is
+// due exactly now.
+func (k *Kernel) syncSettlers(now units.Time) {
+	for _, s := range k.settlers {
+		s.SyncSweeps(now)
+	}
 }
 
 // settleWindow advances the pending cursors through their limits by the
@@ -574,6 +772,7 @@ func (k *Kernel) syncAt(now units.Time) {
 	if k.baselinePending == now && k.taskBaseline.NextDue() > now {
 		k.taskBaseline.ResumeAt(now)
 	}
+	k.syncSettlers(now)
 }
 
 // syncLimit bounds lazy settlement at `now`: work strictly before the
@@ -820,6 +1019,9 @@ func (k *Kernel) settle() {
 		if k.baselinePending == now && k.taskBaseline.NextDue() > now {
 			k.fireBaseline(now)
 		}
+		for _, s := range k.settlers {
+			s.SettleSweeps(now)
+		}
 	} else {
 		k.syncBaselineThrough(now)
 	}
@@ -884,6 +1086,9 @@ func (k *Kernel) baselinePower() units.Power {
 func (k *Kernel) SetBacklight(on bool) {
 	k.syncAt(k.Eng.Now())
 	k.backlight = on
+	// The baseline power change moves the depletion horizon a sweep
+	// settler's prediction was capped by.
+	k.invalidateSettlers()
 }
 
 // KernelPriv returns the kernel's privilege set (owns the system
@@ -921,6 +1126,38 @@ func (k *Kernel) AddDevice(d Device) {
 	k.taskDevices.Resume()
 }
 
+// AddSweepSettler registers a subsystem's closed-form sweep settlement
+// with the kernel's per-instant synchronization (see SweepSettler).
+func (k *Kernel) AddSweepSettler(s SweepSettler) {
+	k.settlers = append(k.settlers, s)
+}
+
+// LazySettle reports whether this kernel runs closed-form settlement on
+// a next-event engine — the regime in which a SweepSettler's parked task
+// has its skipped firings replayed lazily. Sweep settlers refuse to
+// predict outside it: on a fixed-tick engine or under per-batch
+// settlement every instant executes anyway, so there is nothing to save.
+func (k *Kernel) LazySettle() bool { return k.lazySettle }
+
+// TapsSettledThrough returns the last tap-batch boundary whose flows
+// have been applied. At a sweep settler's replay point (inside
+// SyncSweeps at an executed instant) every boundary strictly before now
+// is settled; the accessor lets the settler assert that invariant.
+func (k *Kernel) TapsSettledThrough() units.Time { return k.tapsPending - k.tapBatch }
+
+// SweepHorizonBatches bounds how many tap batches ahead a sweep settler
+// may trust constant-rate extrapolation: within the horizon no reserve
+// can clamp (counting worst-case tap outflow, baseline draw and peak
+// device draw against every source, all inflows ignored), so const-tap
+// carries telescope exactly and a skipped window decomposes per
+// boundary. Predictions must not defer past it.
+func (k *Kernel) SweepHorizonBatches() int64 {
+	return k.Graph.HorizonBatches(k.tapBatch, k.baselinePower()+k.devicesPeakDraw())
+}
+
+// TapBatch returns the tap flow batching interval.
+func (k *Kernel) TapBatch() units.Time { return k.tapBatch }
+
 // Consumed returns total energy consumed across the system — what the
 // bench supply has delivered. Experiments attach power.Meter to this.
 func (k *Kernel) Consumed() units.Energy { return k.Graph.Consumed() }
@@ -934,6 +1171,22 @@ func (k *Kernel) Battery() *core.Reserve { return k.Graph.Battery() }
 // can ever be paid for again).
 func (k *Kernel) BatteryExhausted() bool {
 	return !k.Graph.Battery().CanConsume(k.kpriv, k.baselinePower().Over(k.tapBatch))
+}
+
+// BatteryExhaustedFor reports whether the battery can no longer sustain
+// the baseline idle draw for d more simulated time. The strict one-batch
+// test above can fail to trip on a drained device: clamped taps, label
+// decay and reserve teardown cycle a few millijoules back and forth, so
+// the level floats a batch or two above the quantum indefinitely while
+// nothing real can be paid for — a zombie that still executes its full
+// instant load. Watchdogs that sample at a coarser resolution should
+// declare death at their own granularity: a device that cannot fund one
+// watch period of idle floor has no measurable life left in it.
+func (k *Kernel) BatteryExhaustedFor(d units.Time) bool {
+	if d < k.tapBatch {
+		d = k.tapBatch
+	}
+	return !k.Graph.Battery().CanConsume(k.kpriv, k.baselinePower().Over(d))
 }
 
 // WatchHorizon returns the latest instant through which the battery

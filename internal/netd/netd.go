@@ -76,6 +76,17 @@ type Config struct {
 	// so the fleet runner turns it off. Zero value keeps the trace, as
 	// the experiments require.
 	NoPoolTrace bool
+	// Settle selects closed-form sweep settlement: instead of executing
+	// a sweep every 100 ms while callers wait, netd computes the exact
+	// boundary at which the pool crosses the threshold, defers the sweep
+	// task there, and replays the skipped drains in one exact fixup per
+	// waiter when the prediction is synchronized or dropped. SettleAuto
+	// (the zero value) resolves to the kernel package default; the mode
+	// only engages when the kernel itself runs closed-form settlement on
+	// a next-event engine (every firing executes anyway otherwise) and
+	// Cooperative pooling is on. SettlePerBatch forces per-sweep
+	// execution — the fleet's -per-sweep A/B flag.
+	Settle kernel.SettleMode
 }
 
 // Request is the argument applications pass through the netd gate: a
@@ -107,6 +118,18 @@ type Stats struct {
 	PowerUps int64
 	// Pooled is the total energy swept into the pool from callers.
 	Pooled units.Energy
+	// Abandoned is the number of waiters dropped because their thread
+	// exited or their billing reserve died mid-wait (a workload torn
+	// down around them). They can never complete a session; keeping
+	// them queued would pin the sweep loop at its period forever and
+	// leave the device permanently checkpoint-unquiet.
+	Abandoned int64
+	// SettledSweeps is the number of sweep boundaries accounted in
+	// closed form instead of executed as task firings. Together with the
+	// engine's step counter it quantifies the busy-path win; it is
+	// reported outside the canonical fleet JSON because per-sweep A/B
+	// runs legitimately differ here.
+	SettledSweeps int64
 }
 
 type waiter struct {
@@ -130,6 +153,30 @@ type Netd struct {
 	stats     Stats
 	poolTrace *trace.Series
 	sweepTask *sim.Task
+
+	// Closed-form sweep settlement (see Config.Settle). closedForm is
+	// the resolved mode; settling marks the sweep task deferred to the
+	// predicted pool-crossing instant; lastSweep is the last boundary
+	// whose waiter drains are applied (executed or replayed); predicted
+	// is the deferred-to instant, for diagnostics. The scratch slices
+	// make prediction and replay allocation-free in steady state.
+	closedForm bool
+	settling   bool
+	replaying  bool
+	lastSweep  units.Time
+	predicted  units.Time
+	scratch    []*core.Tap
+	predTaps   []predTap
+	predLvls   []int64
+}
+
+// predTap is prediction scratch state for one constant tap feeding a
+// waiter: rdm is the per-sweep-period numerator rate·batch·(period/batch)
+// in µJ·10⁻³, carry the simulated sub-µJ residue, w the waiter index.
+type predTap struct {
+	rdm   int64
+	carry int64
+	w     int
 }
 
 // New creates netd, its pooled reserve (decay-exempt: §5.5.2 trusts
@@ -176,6 +223,18 @@ func (n *Netd) Reset(k *kernel.Kernel, r *radio.Radio, cfg Config) error {
 		return fmt.Errorf("netd: %w", err)
 	}
 	n.sweepTask = k.Eng.Every("netd:sweep", cfg.SweepPeriod, func(e *sim.Engine) { n.sweep(e.Now()) })
+
+	settle := cfg.Settle
+	if settle == kernel.SettleAuto {
+		settle = kernel.DefaultSettleMode()
+	}
+	n.closedForm = cfg.Cooperative && settle == kernel.SettleClosedForm && k.LazySettle()
+	n.settling = false
+	n.lastSweep = 0
+	n.predicted = 0
+	if n.closedForm {
+		k.AddSweepSettler(n)
+	}
 	return nil
 }
 
@@ -215,11 +274,16 @@ func (n *Netd) handlePoll(call *kernel.Call) error {
 		return nil
 	}
 
+	n.pruneWaiters()
 	w := waiter{th: th, priv: call.BillPriv(), bill: call.BillTo(), req: req}
 	n.waiters = append(n.waiters, w)
 	if n.cfg.QuiescentSweep {
 		n.sweepTask.Resume()
 	}
+	// A new waiter changes the pool inflow; any closed-form prediction
+	// made without it is stale. (The kernel's activity hooks usually
+	// dropped it already when this caller's thread last woke.)
+	n.InvalidateSweeps()
 	// Contribute whatever the caller's taps have accumulated (§5.5.2).
 	n.contribute(w)
 	if n.poolReady(call.Now) {
@@ -229,6 +293,26 @@ func (n *Netd) handlePoll(call *kernel.Call) error {
 	}
 	n.stats.Blocked++
 	return nil
+}
+
+// pruneWaiters drops waiters that can never complete: their thread has
+// exited or their billing reserve has died (workload teardown
+// mid-wait). A dead billing reserve contributes nothing at every
+// future sweep and disqualifies closed-form settlement, so a stranded
+// waiter would otherwise grind the sweep task at its period for the
+// rest of the run — and block checkpointing forever, since the device
+// never goes netd-quiet. Energy the waiter already pooled stays in the
+// pool for future sessions.
+func (n *Netd) pruneWaiters() {
+	kept := n.waiters[:0]
+	for _, w := range n.waiters {
+		if w.th.State() == sched.Exited || w.bill.Dead() {
+			n.stats.Abandoned++
+			continue
+		}
+		kept = append(kept, w)
+	}
+	n.waiters = kept
 }
 
 // contribute sweeps the caller's available energy into the pool.
@@ -265,7 +349,10 @@ func (n *Netd) poolReady(now units.Time) bool {
 }
 
 // sweep runs periodically: waiting threads keep contributing their tap
-// inflow, and the pool fires when it reaches the threshold.
+// inflow, and the pool fires when it reaches the threshold. Under
+// closed-form settlement a sweep that leaves the pool short re-predicts
+// the crossing instant and defers the task there instead of grinding
+// through every 100 ms boundary in between.
 func (n *Netd) sweep(now units.Time) {
 	if !n.cfg.NoPoolTrace {
 		n.poolTrace.Add(now, func() int64 {
@@ -273,6 +360,9 @@ func (n *Netd) sweep(now units.Time) {
 			return int64(lvl)
 		}())
 	}
+	n.settling = false
+	n.lastSweep = now
+	n.pruneWaiters()
 	if len(n.waiters) == 0 {
 		if n.cfg.QuiescentSweep {
 			n.sweepTask.Park()
@@ -284,7 +374,260 @@ func (n *Netd) sweep(now units.Time) {
 	}
 	if n.poolReady(now) {
 		n.fire(now)
+		return
 	}
+	n.maybeSettle(now)
+}
+
+// maybeSettle predicts the boundary at which the pool will cross the
+// threshold and defers the sweep task there. The engine keeps the
+// deferral exact: the kernel synchronizes the settler before every
+// executed instant (replaying the skipped drains), any activity that
+// could perturb the prediction invalidates it, and a prediction that
+// fires early is harmless — the sweep re-checks and re-predicts.
+func (n *Netd) maybeSettle(now units.Time) {
+	if !n.closedForm || now%n.cfg.SweepPeriod != 0 || !n.settleGuard() {
+		return
+	}
+	t := n.predictFire(now)
+	if t <= now+n.cfg.SweepPeriod {
+		return // next boundary fires anyway; stay on the grid
+	}
+	n.sweepTask.DeferUntil(t)
+	n.settling = true
+	n.predicted = t
+}
+
+// settleGuard reports whether the pooling loop is in the regime the
+// closed-form model covers exactly:
+//
+//   - sweep boundaries lie on the tap-batch grid, so per-boundary
+//     credits decompose from telescoped batch flows;
+//   - no pool trace — a trace samples every boundary, which skipping
+//     would lose (experiments keep the trace and fall back to per-sweep
+//     execution, preserving the frozen plot hashes);
+//   - the radio is asleep, so the activation cost — and with it the
+//     threshold — is constant until a wake-up, which invalidates;
+//   - no tap touches the pool, so contributions are its only inflow;
+//   - every waiter's billing reserve is alive, drained by no tap, and
+//     fed only by constant-rate taps (proportional inflow is
+//     level-coupled and does not telescope).
+//
+// Decay needs no guard: decay bites occur at executed 1 s instants,
+// the settler is synchronized before each, and a prediction that
+// ignores future bites only errs early.
+func (n *Netd) settleGuard() bool {
+	if n.cfg.SweepPeriod%n.k.TapBatch() != 0 {
+		return false
+	}
+	if !n.cfg.NoPoolTrace {
+		return false
+	}
+	if n.radio.State() != radio.Sleep {
+		return false
+	}
+	g := n.k.Graph
+	if g.ReserveTapped(n.pool) {
+		return false
+	}
+	for i := range n.waiters {
+		w := &n.waiters[i]
+		if w.bill == nil || w.bill.Dead() {
+			return false
+		}
+		if g.ReserveDrainedByTap(w.bill) {
+			return false
+		}
+		n.scratch = g.TapsInto(w.bill, n.scratch[:0])
+		for _, t := range n.scratch {
+			if t.Kind() != core.TapConst {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// predictFire returns the first sweep boundary after now at which the
+// pool reaches the threshold, simulating the per-boundary drains in
+// closed form: each constant tap credits ⌊(rate·batch·m + carry)/1000⌋ µJ
+// per sweep period (m batches), carries telescope exactly, and every
+// boundary drains each waiter's positive level into the pool. The result
+// is capped at the depletion horizon — beyond it a source could clamp
+// and constant-rate extrapolation lies — and at a fixed iteration bound;
+// a capped prediction just re-predicts when the sweep fires there.
+// Returns 0 when no boundary can be trusted.
+func (n *Netd) predictFire(now units.Time) units.Time {
+	poolLvl, err := n.pool.Level(n.priv)
+	if err != nil {
+		return 0
+	}
+	need := n.threshold(now)
+	period := n.cfg.SweepPeriod
+	dt := n.k.TapBatch()
+	m := int64(period / dt)
+	maxSweeps := n.k.SweepHorizonBatches() / m
+	const sweepCap = 1 << 14
+	if maxSweeps > sweepCap {
+		maxSweeps = sweepCap
+	}
+	if maxSweeps < 2 {
+		return 0
+	}
+	n.predTaps = n.predTaps[:0]
+	n.predLvls = n.predLvls[:0]
+	for i := range n.waiters {
+		w := &n.waiters[i]
+		lvl, err := w.bill.Level(w.priv)
+		if err != nil || lvl > 0 {
+			// Unreadable or undrainable (a failing contribute leaves a
+			// surplus): model the reserve as drained. Extra modeled
+			// contributions only predict the crossing early, which is
+			// safe — the sweep fires, re-checks, re-predicts.
+			lvl = 0
+		}
+		n.predLvls = append(n.predLvls, int64(lvl))
+		n.scratch = n.k.Graph.TapsInto(w.bill, n.scratch[:0])
+		for _, t := range n.scratch {
+			n.predTaps = append(n.predTaps, predTap{
+				rdm:   int64(t.Rate()) * int64(dt) * m,
+				carry: t.Carry(),
+				w:     i,
+			})
+		}
+	}
+	pool := int64(poolLvl)
+	for s := int64(1); s <= maxSweeps; s++ {
+		for ti := range n.predTaps {
+			t := &n.predTaps[ti]
+			tot := t.rdm + t.carry
+			t.carry = tot % 1000
+			n.predLvls[t.w] += tot / 1000
+		}
+		for wi := range n.predLvls {
+			if n.predLvls[wi] > 0 {
+				pool += n.predLvls[wi]
+				n.predLvls[wi] = 0
+			}
+		}
+		if pool >= int64(need) {
+			return now + units.Time(s)*period
+		}
+	}
+	return now + units.Time(maxSweeps)*period
+}
+
+// replayThrough applies, in one exact fixup per waiter, the drains the
+// deferred sweep task skipped at every boundary in (lastSweep, limit].
+// For a reserve whose only credits are non-negative constant-tap flows,
+// draining max(0, level) at boundaries b₁..bₖ moves in total
+// max(0, L₀ + Cₖ) — L₀ the level after the lastSweep drain, Cₖ the
+// credits through bₖ — and leaves min(0, L₀+Cₖ). The current level
+// already includes ρ, the credits applied after bₖ (the kernel settles
+// tap batches before synchronizing settlers), so the fixup transfers
+// max(0, level−ρ); ρ decomposes backward from each tap's current carry,
+// since constant-tap carries evolve linearly mod 1000.
+func (n *Netd) replayThrough(limit units.Time) {
+	period := n.cfg.SweepPeriod
+	last := limit - limit%period
+	if last <= n.lastSweep {
+		return
+	}
+	swept := int64((last - n.lastSweep) / period)
+	settled := n.k.TapsSettledThrough()
+	dt := n.k.TapBatch()
+	g := n.k.Graph
+	// The fixup transfers below fire the graph's tap-activity hook, which
+	// routes back here as InvalidateSweeps. Those transfers are the
+	// replay's own — modeled exactly by the prediction — so invalidating
+	// on them would tear down the deferral it is servicing.
+	n.replaying = true
+	defer func() { n.replaying = false }()
+	for i := range n.waiters {
+		w := &n.waiters[i]
+		lvl, err := w.bill.Level(w.priv)
+		if err != nil {
+			// Per-sweep execution's TransferUpTo fails identically at
+			// every skipped boundary, moving nothing.
+			continue
+		}
+		var rho units.Energy
+		if settled > last {
+			j := int64((settled - last) / dt)
+			n.scratch = g.TapsInto(w.bill, n.scratch[:0])
+			for _, t := range n.scratch {
+				tot := int64(t.Rate()) * int64(dt) * j
+				carry := t.Carry()
+				start := ((carry-tot)%1000 + 1000) % 1000
+				rho += units.Energy((tot + start - carry) / 1000)
+			}
+		}
+		if pre := lvl - rho; pre > 0 {
+			if moved, err := g.TransferUpTo(w.priv, w.bill, n.pool, pre); err == nil {
+				n.stats.Pooled += moved
+			}
+		}
+	}
+	n.stats.SettledSweeps += swept
+	n.lastSweep = last
+}
+
+// SyncSweeps implements kernel.SweepSettler: called before every
+// executed instant (after tap/baseline/device settlement has caught up),
+// it replays the boundaries the deferred sweep task skipped strictly
+// before now and, when a boundary lands exactly now, hands the firing
+// back to the task so it runs in its registration slot — after the
+// kernel's decay task, exactly where per-sweep execution puts it.
+func (n *Netd) SyncSweeps(now units.Time) {
+	if !n.settling {
+		return
+	}
+	n.replayThrough(now - 1)
+	if now%n.cfg.SweepPeriod == 0 && n.sweepTask.NextDue() > now {
+		n.settling = false
+		n.sweepTask.ResumeAt(now)
+	}
+}
+
+// SettleSweeps implements kernel.SweepSettler: closes out a Run whose
+// stop instant the engine never executed. Skipped boundaries strictly
+// before the stop replay as usual; a boundary exactly at the stop runs
+// as a direct sweep, after the kernel's own at-stop boundary work.
+func (n *Netd) SettleSweeps(now units.Time) {
+	if !n.settling {
+		return
+	}
+	n.replayThrough(now - 1)
+	if now%n.cfg.SweepPeriod == 0 && n.sweepTask.NextDue() > now {
+		n.settling = false
+		n.sweep(now)
+	}
+}
+
+// InvalidateSweeps implements kernel.SweepSettler: any activity that
+// could perturb the prediction — a thread woken, a tap activated,
+// changed or released, a decayable reserve created, the radio woken, a
+// new waiter — returns the sweep task to its periodic grid. Boundaries
+// skipped so far replay at the next executed instant; none are lost,
+// because the resumed task's next firing is the first grid boundary at
+// or after now.
+func (n *Netd) InvalidateSweeps() {
+	if n.replaying || !n.settling {
+		return
+	}
+	n.settling = false
+	n.sweepTask.Resume()
+}
+
+// PredictedFire returns the instant the deferred sweep expects the pool
+// to cross the threshold, or 0 while the sweep rides its periodic grid
+// (diagnostics; the fuzz harness asserts it stays on the sweep grid,
+// strictly in the future, ahead of the last accounted boundary).
+func (n *Netd) PredictedFire() units.Time {
+	if !n.settling {
+		return 0
+	}
+	return n.predicted
 }
 
 // fire pays the radio's activation estimate out of the pool and
@@ -348,6 +691,10 @@ func (n *Netd) Snapshot(w *snap.Writer) {
 	w.I64(n.stats.Immediate)
 	w.I64(n.stats.PowerUps)
 	w.I64(int64(n.stats.Pooled))
+	w.I64(n.stats.Abandoned)
+	w.I64(n.stats.SettledSweeps)
+	w.I64(int64(n.lastSweep))
+	w.Bool(n.settling)
 	w.Bool(!n.cfg.NoPoolTrace)
 	if !n.cfg.NoPoolTrace {
 		n.poolTrace.Snapshot(w)
@@ -360,19 +707,31 @@ func (n *Netd) Restore(r *snap.Reader) error {
 	r.Section("netd")
 	waiters := int(r.U64())
 	stats := Stats{
-		Polls:     r.I64(),
-		Blocked:   r.I64(),
-		Immediate: r.I64(),
-		PowerUps:  r.I64(),
-		Pooled:    units.Energy(r.I64()),
+		Polls:         r.I64(),
+		Blocked:       r.I64(),
+		Immediate:     r.I64(),
+		PowerUps:      r.I64(),
+		Pooled:        units.Energy(r.I64()),
+		Abandoned:     r.I64(),
+		SettledSweeps: r.I64(),
 	}
+	lastSweep := units.Time(r.I64())
+	settling := r.Bool()
 	traced := r.Bool()
 	if err := r.Err(); err != nil {
 		return err
 	}
 	if waiters > 0 {
 		return fmt.Errorf("netd: restore: snapshot recorded %d blocked callers; "+
-			"netd sessions cannot span a checkpoint", waiters)
+			"a netd session spans executed instants whose waiter state (thread "+
+			"and reserve references, predicted pool-crossing) cannot be "+
+			"serialized — checkpoint at a quiet point between sessions instead "+
+			"(the fleet runner's chunk boundaries qualify; mid-wait instants do not)", waiters)
+	}
+	if settling {
+		// settling without waiters is unreachable (predictions exist only
+		// while callers wait); reject rather than resume inconsistently.
+		return fmt.Errorf("netd: restore: snapshot recorded a deferred sweep with no waiters")
 	}
 	if traced != !n.cfg.NoPoolTrace {
 		return fmt.Errorf("netd: restore: snapshot pool tracing %v, rebuilt daemon %v", traced, !n.cfg.NoPoolTrace)
@@ -383,5 +742,9 @@ func (n *Netd) Restore(r *snap.Reader) error {
 		}
 	}
 	n.stats = stats
+	n.lastSweep = lastSweep
+	n.settling = false
 	return nil
 }
+
+var _ kernel.SweepSettler = (*Netd)(nil)

@@ -36,6 +36,14 @@ func newRig(t *testing.T, cfg Config) *rig {
 // counter of completed polls.
 func (r *rig) addPoller(t *testing.T, name string, rate units.Power, interval units.Time, phase units.Time, req Request) (*core.Reserve, *int) {
 	t.Helper()
+	res, _, done := r.addPollerWithTap(t, name, rate, interval, phase, req)
+	return res, done
+}
+
+// addPollerWithTap is addPoller exposing the funding tap, so the
+// differential and fuzz harnesses can change its rate mid-run.
+func (r *rig) addPollerWithTap(t testing.TB, name string, rate units.Power, interval units.Time, phase units.Time, req Request) (*core.Reserve, *core.Tap, *int) {
+	t.Helper()
 	res := r.k.CreateReserveOpts(r.k.Root, name, label.Public(), core.ReserveOpts{AllowDebt: true})
 	tap, err := r.k.CreateTap(r.k.Root, name+"-tap", r.k.KernelPriv(), r.k.Battery(), res, label.Public())
 	if err != nil {
@@ -66,7 +74,7 @@ func (r *rig) addPoller(t *testing.T, name string, rate units.Power, interval un
 				th.Exit()
 			}
 		}), res)
-	return res, done
+	return res, tap, done
 }
 
 func TestUncooperativePollGoesStraightToRadio(t *testing.T) {

@@ -92,6 +92,16 @@ func (t *Thread) Priv() label.Priv { return t.priv }
 // State returns the scheduling state.
 func (t *Thread) State() State { return t.state }
 
+// EachReserve calls fn for each reserve in draw-list order without
+// allocating; fn returning false stops the iteration early.
+func (t *Thread) EachReserve(fn func(*core.Reserve) bool) {
+	for _, r := range t.reserves {
+		if !fn(r) {
+			return
+		}
+	}
+}
+
 // Reserves returns the thread's draw list (index 0 is the active
 // reserve).
 func (t *Thread) Reserves() []*core.Reserve {
@@ -101,14 +111,19 @@ func (t *Thread) Reserves() []*core.Reserve {
 }
 
 // SetActiveReserve replaces the draw list with the single given reserve,
-// the self_set_active_reserve syscall of Fig. 5.
+// the self_set_active_reserve syscall of Fig. 5. It counts as scheduler
+// activity: a throttled thread pointed at a fresh reserve may be payable
+// at once, so any closed-form skip of its quanta must be re-derived.
 func (t *Thread) SetActiveReserve(r *core.Reserve) {
 	t.reserves = []*core.Reserve{r}
+	t.sched.notifyActivity()
 }
 
-// AddReserve appends a fallback reserve to the draw list.
+// AddReserve appends a fallback reserve to the draw list. Like
+// SetActiveReserve, it fires the scheduler's activity hook.
 func (t *Thread) AddReserve(r *core.Reserve) {
 	t.reserves = append(t.reserves, r)
+	t.sched.notifyActivity()
 }
 
 // ActiveReserve returns the first reserve, or nil if none.
