@@ -1,0 +1,245 @@
+// cinder-coord is the fleet-as-a-service control plane: it serves a
+// coordinator over HTTP, accepts one job, leases its shards to
+// cinder-fleet runners, and merges their partial reports into the
+// same JSON a single-process run emits — byte for byte. See
+// docs/cluster.md for the full workflow.
+//
+// Usage:
+//
+//	cinder-coord serve -listen 127.0.0.1:9090
+//	cinder-coord submit -coord http://127.0.0.1:9090 \
+//	    -scenario weekinthelife -devices 10000 -duration 168h \
+//	    -shards 16 -checkpoint-dir /shared/ckpt -wait -o report.json
+//	cinder-coord status -coord http://127.0.0.1:9090
+//
+// Runners attach with: cinder-fleet -runner http://127.0.0.1:9090
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/coord/delivery"
+	"repro/internal/fleet"
+	"repro/internal/units"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	if len(os.Args) < 2 {
+		return fail(fmt.Errorf("usage: cinder-coord serve|submit|status [flags]"))
+	}
+	var err error
+	switch cmd := os.Args[1]; cmd {
+	case "serve":
+		err = runServe(os.Args[2:])
+	case "submit":
+		err = runSubmit(os.Args[2:])
+	case "status":
+		err = runStatus(os.Args[2:])
+	default:
+		err = fmt.Errorf("unknown command %q (want serve, submit or status)", cmd)
+	}
+	if err != nil {
+		return fail(err)
+	}
+	return 0
+}
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cinder-coord: "+format+"\n", args...)
+}
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	var (
+		listen      = fs.String("listen", "127.0.0.1:9090", "address to serve the coordinator API on")
+		heartbeat   = fs.Duration("heartbeat", time.Second, "beat cadence handed to runners")
+		lease       = fs.Duration("lease", 0, "lease length before a silent runner forfeits its shard (0 = 4× heartbeat)")
+		maxAttempts = fs.Int("max-attempts", 3, "leases per shard before the job fails terminally")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	co := coord.New(coord.Options{
+		Heartbeat:   *heartbeat,
+		Lease:       *lease,
+		MaxAttempts: *maxAttempts,
+		Logf:        logf,
+	})
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	// The bound address on its own line: scripts passing -listen :0
+	// read it to find the port.
+	fmt.Printf("%s\n", ln.Addr())
+	logf("serving on http://%s (runners: cinder-fleet -runner http://%s)", ln.Addr(), ln.Addr())
+	go func() {
+		<-co.Done()
+		logf("job over; still serving status and result")
+	}()
+	return http.Serve(ln, delivery.Handler(co))
+}
+
+// jobFlags declares the job-spec flags shared with cinder-fleet and
+// builds the Job.
+func jobFlags(fs *flag.FlagSet) func(shards int) (fleet.Job, error) {
+	var (
+		devices   = fs.Int("devices", 1000, "fleet size")
+		seed      = fs.Int64("seed", 1, "fleet master seed")
+		duration  = fs.Duration("duration", 20*time.Minute, "simulated time per device")
+		scenario  = fs.String("scenario", "poller", "workload scenario (registry name)")
+		batteryJ  = fs.Float64("battery-j", 0, "override battery capacity in joules (0 = profile default)")
+		ckptDir   = fs.String("checkpoint-dir", "", "shared epoch-file directory: makes shards resumable after runner loss")
+		ckptEvery = fs.Duration("checkpoint-every", 24*time.Hour, "simulated interval between checkpoints")
+	)
+	return func(shards int) (fleet.Job, error) {
+		sc, ok := fleet.Scenarios()[*scenario]
+		if !ok {
+			return fleet.Job{}, fmt.Errorf("unknown scenario %q", *scenario)
+		}
+		cfg := fleet.Config{
+			Devices:         *devices,
+			Seed:            *seed,
+			Duration:        units.Time(duration.Milliseconds()),
+			Scenario:        sc,
+			CheckpointDir:   *ckptDir,
+			CheckpointEvery: units.Time(ckptEvery.Milliseconds()),
+		}
+		if *batteryJ > 0 {
+			cfg.BatteryCapacity = units.Joules(*batteryJ)
+		}
+		return fleet.NewJob(cfg, shards)
+	}
+}
+
+func runSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+	var (
+		coordURL  = fs.String("coord", "http://127.0.0.1:9090", "coordinator base URL")
+		shards    = fs.Int("shards", 1, "shard plan: units of work runners can claim")
+		wait      = fs.Bool("wait", false, "poll until the job ends and print the merged report")
+		canonical = fs.Bool("canonical", false, "with -wait: fetch the canonical report (engine diagnostics zeroed)")
+		outPath   = fs.String("o", "", "with -wait: write the report to this file instead of stdout")
+		every     = fs.Duration("status-every", 2*time.Second, "with -wait: poll and progress-line interval")
+	)
+	build := jobFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	job, err := build(*shards)
+	if err != nil {
+		return err
+	}
+	conn := delivery.DialHTTP(*coordURL)
+	defer conn.Close()
+	if err := conn.Submit(job); err != nil {
+		return err
+	}
+	logf("submitted: %s, %d devices × %v, %d shards",
+		job.Scenario, job.Devices, time.Duration(job.DurationMS)*time.Millisecond, job.Shards)
+	if !*wait {
+		return nil
+	}
+	for {
+		time.Sleep(*every)
+		st, err := conn.Status()
+		if err != nil {
+			logf("status poll failed (retrying): %v", err)
+			continue
+		}
+		logf("%s", progressLine(st))
+		if st.Failed != "" {
+			return fmt.Errorf("job failed: %s", st.Failed)
+		}
+		if st.Done {
+			break
+		}
+	}
+	b, err := conn.Result(*canonical)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if *outPath == "" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(*outPath, b, 0o644)
+}
+
+// progressLine renders one human status line from a coordinator
+// snapshot: completion, throughput in simulated device-days per wall
+// second, ETA, and the resume floor.
+func progressLine(st delivery.Status) string {
+	if !st.Submitted {
+		return "no job submitted yet"
+	}
+	pct := 0.0
+	if st.SimTotalMS > 0 {
+		pct = 100 * float64(st.SimDoneMS) / float64(st.SimTotalMS)
+	}
+	line := fmt.Sprintf("%5.1f%%  %d/%d devices", pct, st.DevicesDone, st.Devices)
+	if st.ElapsedMS > 0 {
+		days := float64(st.SimDoneMS) / float64(24*time.Hour.Milliseconds())
+		rate := days / (float64(st.ElapsedMS) / 1000)
+		line += fmt.Sprintf("  %.1f device-days/s", rate)
+		if st.SimDoneMS > 0 && !st.Done {
+			etaMS := float64(st.SimTotalMS-st.SimDoneMS) * float64(st.ElapsedMS) / float64(st.SimDoneMS)
+			line += fmt.Sprintf("  ETA %v", (time.Duration(etaMS) * time.Millisecond).Round(time.Second))
+		}
+	}
+	running, done := 0, 0
+	lastCk := -1
+	for _, s := range st.Shards {
+		switch s.State {
+		case "running":
+			running++
+		case "done":
+			done++
+		}
+		if s.State == "running" && (lastCk < 0 || s.LastCheckpoint < lastCk) {
+			lastCk = s.LastCheckpoint
+		}
+	}
+	line += fmt.Sprintf("  shards %d done / %d running / %d total", done, running, len(st.Shards))
+	if lastCk >= 0 {
+		line += fmt.Sprintf("  last checkpoint %d", lastCk)
+	}
+	return line
+}
+
+func runStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ContinueOnError)
+	coordURL := fs.String("coord", "http://127.0.0.1:9090", "coordinator base URL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	conn := delivery.DialHTTP(*coordURL)
+	defer conn.Close()
+	st, err := conn.Status()
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", b)
+	return nil
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "cinder-coord:", err)
+	return 1
+}

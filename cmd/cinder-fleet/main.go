@@ -70,8 +70,25 @@ func realMain() int {
 		merge      = flag.Bool("merge", false, "merge partial reports (the positional args) into the full fleet report")
 		outPath    = flag.String("o", "", "write the report to this file instead of stdout")
 		denseWatch = flag.Bool("dense-watch", false, "poll the battery every second instead of the adaptive watch (A/B timing)")
+
+		runnerURL = flag.String("runner", "", "attach to a cinder-coord service at this URL as a work-stealing runner")
+		runnerID  = flag.String("runner-id", "", "runner name in leases and logs (default hostname-pid)")
+		shardsN   = flag.Int("shards", 0, "run through the in-process coordinator with this many shards (the cluster code path, minus the network)")
+		runnersN  = flag.Int("runners", 0, "with -shards: concurrent in-process runner loops (default 1)")
+		progress  = flag.Bool("progress", false, "print a progress line (completion, device-days/s, ETA, checkpoint) to stderr every few seconds")
+		perDevOut = flag.String("per-device-out", "", "stream one NDJSON line per device to this file, in device-index order, without retaining the per-device array in memory")
 	)
 	flag.Parse()
+
+	if *runnerURL != "" {
+		if *merge || *shard != "" || *sweep != "" || *shardsN > 0 || *jsonOut || *perDevice || *perDevOut != "" {
+			return fail(fmt.Errorf("-runner takes its work from the coordinator; it cannot combine with -merge, -shard, -sweep, -shards, -json, -per-device or -per-device-out"))
+		}
+		if err := runRunner(*runnerURL, *runnerID, *workers, *progress); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -141,14 +158,45 @@ func realMain() int {
 		cfg.NetdSettle = kernel.SettlePerBatch
 	}
 
+	if *shardsN > 0 || *runnersN > 0 {
+		shards := *shardsN
+		if shards <= 0 {
+			shards = *runnersN
+		}
+		switch {
+		case *shard != "" || *sweep != "":
+			return fail(fmt.Errorf("-shards runs the whole job; it cannot combine with -shard or -sweep"))
+		case *resume:
+			return fail(fmt.Errorf("-shards manages resumption itself (lost shards are re-leased with resume); drop -resume"))
+		case *perDevice || *perDevOut != "":
+			return fail(fmt.Errorf("per-device output needs the single-process path: shard partials do not carry per-device results"))
+		case *noRecycle:
+			return fail(fmt.Errorf("-no-recycle is a single-process A/B knob; jobs do not carry it"))
+		}
+		if err := runLocalCoord(cfg, shards, *runnersN, *jsonOut, *canonOut, *progress, *outPath); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+	if *sweep != "" && (*perDevOut != "" || *progress) {
+		return fail(fmt.Errorf("-sweep runs several fleets; -per-device-out and -progress apply to a single run"))
+	}
+
 	if *shard != "" {
 		var err error
 		cfg.ShardIndex, cfg.ShardCount, err = parseShard(*shard)
 		if err != nil {
 			return fail(err)
 		}
+		closeStreams, err := attachStreams(&cfg, *perDevOut, *canonOut, *progress)
+		if err != nil {
+			return fail(err)
+		}
 		start := time.Now()
 		part, err := fleet.RunShard(cfg)
+		if cerr := closeStreams(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return fail(err)
 		}
@@ -172,8 +220,15 @@ func realMain() int {
 		return 0
 	}
 
+	closeStreams, err := attachStreams(&cfg, *perDevOut, *canonOut, *progress)
+	if err != nil {
+		return fail(err)
+	}
 	start := time.Now()
 	rep, err := fleet.Run(cfg)
+	if cerr := closeStreams(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return fail(err)
 	}

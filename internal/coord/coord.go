@@ -1,0 +1,363 @@
+// Package coord turns the fleet's shard layer into a small
+// fleet-as-a-service: a Coordinator owns a submitted Job's shard
+// queue and leases shards to runners over any delivery mechanism
+// (work-stealing: an idle runner claims the next pending shard, so a
+// fast machine simply ends up executing more shards); a Runner is the
+// claim → simulate → stream-partials-back loop. Fault tolerance is
+// reconfiguration, not consensus: a runner that stops heartbeating
+// forfeits its lease, and the shard is reassigned with Resume set, so
+// the next runner continues from the newest complete epoch checkpoint
+// — losing a runner costs at most one checkpoint interval of
+// re-simulation, and because resumed shard partials are byte-identical
+// to uninterrupted ones, the merged report is too.
+package coord
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/coord/delivery"
+	"repro/internal/fleet"
+	"repro/internal/units"
+)
+
+// Options tunes a Coordinator. The zero value gets sane defaults.
+type Options struct {
+	// Lease is how long a claimed shard may go without a heartbeat
+	// before it is forfeited and reassigned (default 4× Heartbeat).
+	Lease time.Duration
+	// Heartbeat is the beat cadence handed to runners (default 1s).
+	Heartbeat time.Duration
+	// MaxAttempts bounds leases per shard; exhausting it fails the job
+	// terminally (default 3).
+	MaxAttempts int
+	// Now overrides the clock (tests drive lease expiry with it).
+	Now func() time.Time
+	// Logf, when set, receives one line per lease event.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = time.Second
+	}
+	if o.Lease <= 0 {
+		o.Lease = 4 * o.Heartbeat
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// shardState is the coordinator's record of one shard of the plan.
+type shardState struct {
+	lo, hi  int
+	state   string // "pending" | "running" | "done"
+	runner  string
+	expiry  time.Time
+	attempt int
+	// resume is set once a lease has been forfeited or failed: the next
+	// assignment asks the runner to continue from epoch checkpoints.
+	resume bool
+
+	devicesDone    int
+	simDoneMS      int64
+	lastCheckpoint int
+
+	partial *fleet.Partial
+}
+
+// Coordinator accepts one Job, leases its shards to runners, and
+// merges the returned partials into the final report. It implements
+// delivery.Service, so it sits unchanged behind every delivery
+// mechanism.
+type Coordinator struct {
+	opts Options
+
+	mu       sync.Mutex
+	job      *fleet.Job
+	start    time.Time
+	shards   []shardState
+	remain   int // shards not yet done
+	finished bool
+	failed   error
+	report   fleet.Report
+	doneCh   chan struct{}
+}
+
+// New returns an idle coordinator awaiting a Submit.
+func New(opts Options) *Coordinator {
+	return &Coordinator{opts: opts.withDefaults(), doneCh: make(chan struct{})}
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}
+
+// Submit installs the job. A coordinator runs exactly one job; a
+// second Submit is an error.
+func (c *Coordinator) Submit(job fleet.Job) error {
+	if err := job.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.job != nil {
+		return fmt.Errorf("coord: a job is already submitted")
+	}
+	c.job = &job
+	c.start = c.opts.Now()
+	c.shards = make([]shardState, job.Shards)
+	c.remain = job.Shards
+	for i := range c.shards {
+		lo, hi := job.ShardRange(i)
+		c.shards[i] = shardState{lo: lo, hi: hi, state: "pending", lastCheckpoint: -1}
+	}
+	c.logf("coord: job submitted: %s, %d devices × %v, %d shards",
+		job.Scenario, job.Devices, time.Duration(job.DurationMS)*time.Millisecond, job.Shards)
+	return nil
+}
+
+// fail ends the job terminally. Caller holds c.mu.
+func (c *Coordinator) fail(err error) {
+	if c.finished || c.failed != nil {
+		return
+	}
+	c.failed = err
+	c.logf("coord: job failed: %v", err)
+	close(c.doneCh)
+}
+
+// expire forfeits leases whose runners stopped heartbeating. Caller
+// holds c.mu.
+func (c *Coordinator) expire(now time.Time) {
+	if c.job == nil || c.finished || c.failed != nil {
+		return
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		if s.state != "running" || !now.After(s.expiry) {
+			continue
+		}
+		c.logf("coord: shard %d lease expired (runner %s, attempt %d)", i, s.runner, s.attempt)
+		if s.attempt >= c.opts.MaxAttempts {
+			c.fail(fmt.Errorf("coord: shard %d failed %d times (last runner %s lost)",
+				i, s.attempt, s.runner))
+			return
+		}
+		s.state, s.runner, s.resume = "pending", "", true
+	}
+}
+
+// Claim leases the next pending shard to the named runner.
+func (c *Coordinator) Claim(runner string) (delivery.Task, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opts.Now()
+	c.expire(now)
+	if c.finished || c.failed != nil {
+		return delivery.Task{}, delivery.ErrDone
+	}
+	if c.job == nil {
+		return delivery.Task{}, delivery.ErrNoWork
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		if s.state != "pending" {
+			continue
+		}
+		s.state, s.runner = "running", runner
+		s.expiry = now.Add(c.opts.Lease)
+		s.attempt++
+		c.logf("coord: shard %d [%d,%d) leased to %s (attempt %d, resume %v)",
+			i, s.lo, s.hi, runner, s.attempt, s.resume)
+		return delivery.Task{
+			Job:         *c.job,
+			Shard:       i,
+			Resume:      s.resume,
+			Attempt:     s.attempt - 1,
+			HeartbeatMS: c.opts.Heartbeat.Milliseconds(),
+		}, nil
+	}
+	return delivery.Task{}, delivery.ErrNoWork
+}
+
+// Heartbeat renews the runner's lease and records the shard's live
+// progress.
+func (c *Coordinator) Heartbeat(runner string, beat delivery.Beat) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opts.Now()
+	c.expire(now)
+	if c.finished || c.failed != nil {
+		return delivery.ErrDone
+	}
+	if c.job == nil || beat.Shard < 0 || beat.Shard >= len(c.shards) {
+		return delivery.ErrLeaseLost
+	}
+	s := &c.shards[beat.Shard]
+	if s.state != "running" || s.runner != runner {
+		return delivery.ErrLeaseLost
+	}
+	s.expiry = now.Add(c.opts.Lease)
+	s.devicesDone = beat.DevicesDone
+	s.simDoneMS = beat.SimDoneMS
+	s.lastCheckpoint = beat.LastCheckpoint
+	return nil
+}
+
+// Complete delivers a finished shard's partial. The first valid
+// completion wins: a runner whose lease was forfeited but which
+// finished anyway delivers an identical partial (resumed shard runs
+// are byte-identical), so its late result is accepted as long as the
+// shard is still open.
+func (c *Coordinator) Complete(runner string, shard int, p *fleet.Partial) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.finished || c.failed != nil {
+		return delivery.ErrDone
+	}
+	if c.job == nil || shard < 0 || shard >= len(c.shards) {
+		return delivery.ErrLeaseLost
+	}
+	s := &c.shards[shard]
+	if s.state == "done" {
+		return delivery.ErrLeaseLost
+	}
+	if p == nil || p.ShardIndex != shard || p.ShardCount != c.job.Shards ||
+		p.RangeLo != s.lo || p.RangeHi != s.hi {
+		return fmt.Errorf("coord: partial does not describe shard %d of this job", shard)
+	}
+	s.state, s.runner, s.partial = "done", "", p
+	s.devicesDone = s.hi - s.lo
+	s.simDoneMS = int64(units.Time(s.hi-s.lo) * c.job.Horizon())
+	c.remain--
+	c.logf("coord: shard %d completed by %s (%d shards left)", shard, runner, c.remain)
+	if c.remain > 0 {
+		return nil
+	}
+	parts := make([]*fleet.Partial, len(c.shards))
+	for i := range c.shards {
+		parts[i] = c.shards[i].partial
+	}
+	rep, err := c.job.Merge(parts)
+	if err != nil {
+		c.fail(err)
+		return nil
+	}
+	c.report, c.finished = rep, true
+	c.logf("coord: job done, report merged")
+	close(c.doneCh)
+	return nil
+}
+
+// Fail reports a shard attempt that errored. The attempt is charged
+// against MaxAttempts; the shard is requeued (with Resume) or the job
+// fails terminally.
+func (c *Coordinator) Fail(runner string, shard int, msg string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.finished || c.failed != nil {
+		return delivery.ErrDone
+	}
+	if c.job == nil || shard < 0 || shard >= len(c.shards) {
+		return delivery.ErrLeaseLost
+	}
+	s := &c.shards[shard]
+	if s.state != "running" || s.runner != runner {
+		return delivery.ErrLeaseLost
+	}
+	c.logf("coord: shard %d attempt %d failed on %s: %s", shard, s.attempt, runner, msg)
+	if s.attempt >= c.opts.MaxAttempts {
+		c.fail(fmt.Errorf("coord: shard %d failed %d times, last error from %s: %s",
+			shard, s.attempt, runner, msg))
+		return nil
+	}
+	s.state, s.runner, s.resume = "pending", "", true
+	return nil
+}
+
+// Status snapshots the run for /status consumers.
+func (c *Coordinator) Status() delivery.Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opts.Now()
+	c.expire(now)
+	st := delivery.Status{Done: c.finished}
+	if c.failed != nil {
+		st.Failed = c.failed.Error()
+	}
+	if c.job == nil {
+		return st
+	}
+	job := *c.job
+	st.Submitted = true
+	st.Job = &job
+	st.Devices = job.Devices
+	st.SimTotalMS = int64(job.SimTotal())
+	st.ElapsedMS = now.Sub(c.start).Milliseconds()
+	st.Shards = make([]delivery.ShardStatus, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		st.DevicesDone += s.devicesDone
+		st.SimDoneMS += s.simDoneMS
+		st.Shards[i] = delivery.ShardStatus{
+			Shard:          i,
+			RangeLo:        s.lo,
+			RangeHi:        s.hi,
+			State:          s.state,
+			Runner:         s.runner,
+			Attempts:       s.attempt,
+			DevicesDone:    s.devicesDone,
+			SimDoneMS:      s.simDoneMS,
+			LastCheckpoint: s.lastCheckpoint,
+		}
+	}
+	return st
+}
+
+// Result renders the merged report's JSON (the same bytes cinder-fleet
+// -json emits for a single-process run of the job).
+func (c *Coordinator) Result(canonical bool) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed != nil {
+		return nil, c.failed
+	}
+	if !c.finished {
+		return nil, delivery.ErrNotDone
+	}
+	if canonical {
+		return c.report.CanonicalJSON(false)
+	}
+	return c.report.JSON(false)
+}
+
+// Done is closed when the job completes or fails terminally.
+func (c *Coordinator) Done() <-chan struct{} { return c.doneCh }
+
+// Wait blocks until the job ends and returns the merged report (or
+// the terminal error).
+func (c *Coordinator) Wait(ctx context.Context) (fleet.Report, error) {
+	select {
+	case <-ctx.Done():
+		return fleet.Report{}, ctx.Err()
+	case <-c.doneCh:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed != nil {
+		return fleet.Report{}, c.failed
+	}
+	return c.report, nil
+}
+
+var _ delivery.Service = (*Coordinator)(nil)

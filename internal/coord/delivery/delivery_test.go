@@ -1,0 +1,219 @@
+package delivery
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/units"
+)
+
+// stubService returns canned sentinels so transport mapping can be
+// tested without a coordinator.
+type stubService struct {
+	submitted *fleet.Job
+	task      Task
+	claimErr  error
+	beats     []Beat
+	completed []*fleet.Partial
+	failures  []string
+	status    Status
+	result    []byte
+	resultErr error
+}
+
+func (s *stubService) Submit(job fleet.Job) error {
+	s.submitted = &job
+	return nil
+}
+func (s *stubService) Claim(runner string) (Task, error) { return s.task, s.claimErr }
+func (s *stubService) Heartbeat(runner string, beat Beat) error {
+	s.beats = append(s.beats, beat)
+	return nil
+}
+func (s *stubService) Complete(runner string, shard int, p *fleet.Partial) error {
+	s.completed = append(s.completed, p)
+	return nil
+}
+func (s *stubService) Fail(runner string, shard int, msg string) error {
+	s.failures = append(s.failures, msg)
+	return nil
+}
+func (s *stubService) Status() Status                        { return s.status }
+func (s *stubService) Result(canonical bool) ([]byte, error) { return s.result, s.resultErr }
+
+// registryJob builds a wire job the way a remote submitter would:
+// exported fields only, scenario by registry name. (NewJob would also
+// capture the scenario value in-process, which breaks the == checks
+// below — a round-tripped job deliberately loses that override.)
+func registryJob(t *testing.T) fleet.Job {
+	t.Helper()
+	job := fleet.Job{
+		Scenario:   "poller",
+		Devices:    8,
+		Seed:       7,
+		DurationMS: int64(units.Hour),
+		Shards:     2,
+	}
+	if err := job.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return job
+}
+
+// namedScenario is a non-registry workload: legal in-process, but with
+// no registry name to resolve it by on the far side of a wire.
+type namedScenario struct{ fleet.Scenario }
+
+func (namedScenario) Name() string { return "not-in-the-registry" }
+
+// TestInprocDeliversByValue: the in-process mechanism must behave like
+// a wire, not like a function call — a job referencing a non-registry
+// scenario has to fail through it exactly as it would over HTTP.
+func TestInprocDeliversByValue(t *testing.T) {
+	custom := namedScenario{fleet.Scenarios()["idle"]}
+	job, err := fleet.NewJob(fleet.Config{
+		Devices:  4,
+		Seed:     1,
+		Duration: units.Hour,
+		Scenario: custom,
+	}, 1)
+	if err != nil {
+		t.Fatal(err) // NewJob captures the override; in-process it is valid
+	}
+
+	svc := &stubService{}
+	tr := ServeInproc(svc)
+	defer tr.Close()
+	err = tr.Conn().Submit(job)
+	if err == nil || !strings.Contains(err.Error(), "unknown scenario") {
+		t.Fatalf("non-registry job crossed the in-process wire: %v", err)
+	}
+	if svc.submitted != nil {
+		t.Fatal("service saw a job that should have died in serialization")
+	}
+}
+
+// TestInprocRoundTrip: every message type survives the in-process
+// mechanism's JSON round-trip intact.
+func TestInprocRoundTrip(t *testing.T) {
+	job := registryJob(t)
+	svc := &stubService{
+		task: Task{Job: job, Shard: 1, Resume: true, Attempt: 2, HeartbeatMS: 250},
+		status: Status{
+			Submitted: true, Devices: 8, DevicesDone: 3,
+			Shards: []ShardStatus{{Shard: 0, State: "running", Runner: "r", LastCheckpoint: 4}},
+		},
+		result: []byte(`{"ok":true}`),
+	}
+	tr := ServeInproc(svc)
+	defer tr.Close()
+	conn := tr.Conn()
+
+	if err := conn.Submit(job); err != nil {
+		t.Fatal(err)
+	}
+	if svc.submitted == nil || *svc.submitted != job {
+		t.Fatalf("submit mangled the job: %+v", svc.submitted)
+	}
+	task, err := conn.Claim("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task != svc.task {
+		t.Fatalf("claim mangled the task: %+v vs %+v", task, svc.task)
+	}
+	beat := Beat{Shard: 1, DevicesDone: 3, SimDoneMS: 9000, LastCheckpoint: 0}
+	if err := conn.Heartbeat("r", beat); err != nil {
+		t.Fatal(err)
+	}
+	if len(svc.beats) != 1 || svc.beats[0] != beat {
+		t.Fatalf("heartbeat mangled the beat: %+v", svc.beats)
+	}
+	if err := conn.Fail("r", 1, "boom"); err != nil {
+		t.Fatal(err)
+	}
+	if len(svc.failures) != 1 || svc.failures[0] != "boom" {
+		t.Fatalf("fail mangled the message: %+v", svc.failures)
+	}
+	st, err := conn.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DevicesDone != 3 || len(st.Shards) != 1 || st.Shards[0].LastCheckpoint != 4 {
+		t.Fatalf("status mangled: %+v", st)
+	}
+	b, err := conn.Result(false)
+	if err != nil || string(b) != `{"ok":true}` {
+		t.Fatalf("result mangled: %s, %v", b, err)
+	}
+}
+
+// TestInprocPartialRoundTrip: a real shard partial survives Complete's
+// parse gate and merges back into the exact report.
+func TestInprocPartialRoundTrip(t *testing.T) {
+	job := registryJob(t)
+	cfg, err := job.ShardConfig(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 2
+	part, err := fleet.RunShard(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := &stubService{}
+	tr := ServeInproc(svc)
+	defer tr.Close()
+	if err := tr.Conn().Complete("r", 0, part); err != nil {
+		t.Fatal(err)
+	}
+	if len(svc.completed) != 1 {
+		t.Fatal("partial not delivered")
+	}
+	a, _ := part.JSON()
+	b, _ := svc.completed[0].JSON()
+	if string(a) != string(b) {
+		t.Fatalf("partial mangled in delivery:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestInprocClosed: connections of a closed transport fail with
+// ErrClosed instead of hanging.
+func TestInprocClosed(t *testing.T) {
+	tr := ServeInproc(&stubService{})
+	conn := tr.Conn()
+	tr.Close()
+	if _, err := conn.Claim("r"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("claim on closed transport: got %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+// TestSentinelWireCodes: every sentinel must survive the HTTP error
+// mapping in both directions (unit-level, no server).
+func TestSentinelWireCodes(t *testing.T) {
+	for _, sentinel := range []error{ErrNoWork, ErrDone, ErrLeaseLost, ErrNotDone} {
+		var code string
+		var status int
+		for _, m := range errCodes {
+			if m.err == sentinel {
+				code, status = m.code, m.status
+			}
+		}
+		if code == "" {
+			t.Fatalf("%v has no wire code", sentinel)
+		}
+		body := []byte(`{"code":"` + code + `","error":"x"}`)
+		if got := decodeErr(status, body); got != sentinel {
+			t.Fatalf("code %q decoded to %v, want %v", code, got, sentinel)
+		}
+	}
+	if err := decodeErr(500, []byte("something broke")); err == nil ||
+		!strings.Contains(err.Error(), "something broke") {
+		t.Fatalf("plain error lost its text: %v", err)
+	}
+}

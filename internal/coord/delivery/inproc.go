@@ -1,0 +1,190 @@
+package delivery
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/fleet"
+)
+
+// Inproc is the in-process delivery mechanism: a channel-served
+// adapter over a Service. Every request is a closure sent to one
+// serving goroutine, so calls from any number of runner goroutines are
+// serialized exactly as a single-listener network transport would
+// serialize them, and every message is round-tripped through its JSON
+// wire form — the in-process mechanism is a real transport that merely
+// happens to have zero latency, which is what makes "cinder-fleet
+// -shards" a faithful rehearsal of a cluster run.
+type Inproc struct {
+	svc    Service
+	reqs   chan func()
+	closed chan struct{}
+}
+
+// ServeInproc starts serving the Service over an in-process channel.
+// Close releases the serving goroutine; connections error with
+// ErrClosed afterwards.
+func ServeInproc(svc Service) *Inproc {
+	t := &Inproc{
+		svc:    svc,
+		reqs:   make(chan func()),
+		closed: make(chan struct{}),
+	}
+	go t.serve()
+	return t
+}
+
+func (t *Inproc) serve() {
+	for {
+		select {
+		case f := <-t.reqs:
+			f()
+		case <-t.closed:
+			return
+		}
+	}
+}
+
+// Close shuts the transport down.
+func (t *Inproc) Close() error {
+	select {
+	case <-t.closed:
+	default:
+		close(t.closed)
+	}
+	return nil
+}
+
+// Conn returns a client connection. All connections share the one
+// serving channel; each is safe for concurrent use.
+func (t *Inproc) Conn() Conn { return &inprocConn{t: t} }
+
+type inprocConn struct{ t *Inproc }
+
+// do runs f on the serving goroutine and waits for it.
+func (c *inprocConn) do(f func()) error {
+	done := make(chan struct{})
+	select {
+	case <-c.t.closed:
+		return ErrClosed
+	case c.t.reqs <- func() { f(); close(done) }:
+	}
+	select {
+	case <-done:
+		return nil
+	case <-c.t.closed:
+		// The serving goroutine may already have picked f up; prefer
+		// the result if it raced to completion.
+		select {
+		case <-done:
+			return nil
+		default:
+			return ErrClosed
+		}
+	}
+}
+
+// roundTrip copies in to out through the JSON wire form, so in-process
+// delivery exercises exactly the serialization a network transport
+// would.
+func roundTrip(in, out any) error {
+	b, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("delivery: marshal: %w", err)
+	}
+	if err := json.Unmarshal(b, out); err != nil {
+		return fmt.Errorf("delivery: unmarshal: %w", err)
+	}
+	return nil
+}
+
+func (c *inprocConn) Submit(job fleet.Job) error {
+	var wire fleet.Job
+	if err := roundTrip(job, &wire); err != nil {
+		return err
+	}
+	// The HTTP server re-validates through ParseJob; mirror it, so a job
+	// that cannot survive serialization (a non-registry scenario, say)
+	// fails identically on every transport.
+	if err := wire.Validate(); err != nil {
+		return err
+	}
+	var err error
+	if derr := c.do(func() { err = c.t.svc.Submit(wire) }); derr != nil {
+		return derr
+	}
+	return err
+}
+
+func (c *inprocConn) Claim(runner string) (Task, error) {
+	var task Task
+	var err error
+	if derr := c.do(func() { task, err = c.t.svc.Claim(runner) }); derr != nil {
+		return Task{}, derr
+	}
+	if err != nil {
+		return Task{}, err
+	}
+	var wire Task
+	if err := roundTrip(task, &wire); err != nil {
+		return Task{}, err
+	}
+	return wire, nil
+}
+
+func (c *inprocConn) Heartbeat(runner string, beat Beat) error {
+	var err error
+	if derr := c.do(func() { err = c.t.svc.Heartbeat(runner, beat) }); derr != nil {
+		return derr
+	}
+	return err
+}
+
+func (c *inprocConn) Complete(runner string, shard int, p *fleet.Partial) error {
+	// The round-trip matters most here: the partial is the payload the
+	// whole system exists to move, and ParsePartial is the gate every
+	// real transport runs it through.
+	b, err := p.JSON()
+	if err != nil {
+		return err
+	}
+	wire, err := fleet.ParsePartial(b)
+	if err != nil {
+		return err
+	}
+	if derr := c.do(func() { err = c.t.svc.Complete(runner, shard, wire) }); derr != nil {
+		return derr
+	}
+	return err
+}
+
+func (c *inprocConn) Fail(runner string, shard int, msg string) error {
+	var err error
+	if derr := c.do(func() { err = c.t.svc.Fail(runner, shard, msg) }); derr != nil {
+		return derr
+	}
+	return err
+}
+
+func (c *inprocConn) Status() (Status, error) {
+	var st Status
+	if derr := c.do(func() { st = c.t.svc.Status() }); derr != nil {
+		return Status{}, derr
+	}
+	var wire Status
+	if err := roundTrip(st, &wire); err != nil {
+		return Status{}, err
+	}
+	return wire, nil
+}
+
+func (c *inprocConn) Result(canonical bool) ([]byte, error) {
+	var b []byte
+	var err error
+	if derr := c.do(func() { b, err = c.t.svc.Result(canonical) }); derr != nil {
+		return nil, derr
+	}
+	return b, err
+}
+
+func (c *inprocConn) Close() error { return nil }

@@ -1,0 +1,161 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/coord/delivery"
+	"repro/internal/fleet"
+)
+
+// TestHTTPLoopbackRunnerDeath is the cluster rehearsal: a coordinator
+// served over HTTP, two real runner loops dialing it, and one runner
+// killed mid-shard right after its first epoch checkpoint lands. The
+// survivor must pick up the forfeited lease, resume from the
+// checkpoint, and the merged report must be byte-identical — full and
+// canonical JSON — to an uninterrupted single-process run.
+func TestHTTPLoopbackRunnerDeath(t *testing.T) {
+	job := weekJob(t, 8, 2, t.TempDir())
+
+	// A short beat keeps status lively, but the lease is generous: under
+	// the race detector everything runs several times slower, and a
+	// lease that expires under a healthy heartbeating runner turns this
+	// test into a flaky MaxAttempts failure.
+	co := New(Options{Heartbeat: 50 * time.Millisecond, Lease: 2 * time.Second, Logf: t.Logf})
+	srv := httptest.NewServer(delivery.Handler(co))
+	defer srv.Close()
+
+	conn := delivery.DialHTTP(srv.URL)
+	defer conn.Close()
+	if err := conn.Submit(job); err != nil {
+		t.Fatal(err)
+	}
+
+	// The victim claims first; the survivor is held back until the
+	// victim has visibly started, so the death always hits a live shard.
+	victimCtx, kill := context.WithCancel(context.Background())
+	victimStarted := make(chan struct{})
+	var startOnce sync.Once
+	var killed atomic.Bool
+	victim := &Runner{
+		ID:   "victim",
+		Conn: delivery.DialHTTP(srv.URL),
+		// One worker: the admission window is small, so the abort lands
+		// close to the checkpoint it was triggered by.
+		Workers: 1,
+		Poll:    10 * time.Millisecond,
+		Logf:    t.Logf,
+		OnProgress: func(shard int, p fleet.Progress) {
+			startOnce.Do(func() { close(victimStarted) })
+			if p.Checkpointed && !killed.Swap(true) {
+				kill()
+			}
+		},
+	}
+	survivor := &Runner{
+		ID:      "survivor",
+		Conn:    delivery.DialHTTP(srv.URL),
+		Workers: 2,
+		Poll:    10 * time.Millisecond,
+		Logf:    t.Logf,
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		victim.Run(victimCtx)
+	}()
+	go func() {
+		defer wg.Done()
+		select {
+		case <-victimStarted:
+		case <-time.After(30 * time.Second):
+			t.Error("victim never started a shard")
+			return
+		}
+		survivor.Run(context.Background())
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if _, err := co.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	if !killed.Load() {
+		t.Fatal("victim was never killed: the death path went unexercised")
+	}
+	st, err := conn.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	attempts := 0
+	for _, s := range st.Shards {
+		attempts += s.Attempts
+	}
+	if attempts <= job.Shards {
+		t.Fatalf("total attempts %d: no shard was ever reassigned", attempts)
+	}
+
+	want := singleProcess(t, job)
+	got, err := conn.Result(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wj := mustJSON(t, want); !bytes.Equal(got, wj) {
+		t.Fatalf("full JSON diverged after runner death:\n%s\nvs\n%s", got, wj)
+	}
+	gotC, err := conn.Result(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantC, err := want.CanonicalJSON(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotC, wantC) {
+		t.Fatal("canonical JSON diverged after runner death")
+	}
+}
+
+// TestHTTPStatusAndErrors: the HTTP mechanism must map every sentinel
+// faithfully and expose live status.
+func TestHTTPStatusAndErrors(t *testing.T) {
+	co := New(Options{})
+	srv := httptest.NewServer(delivery.Handler(co))
+	defer srv.Close()
+	conn := delivery.DialHTTP(srv.URL)
+	defer conn.Close()
+
+	if _, err := conn.Claim("r"); err != delivery.ErrNoWork {
+		t.Fatalf("claim before submit: got %v, want ErrNoWork", err)
+	}
+	if _, err := conn.Result(false); err != delivery.ErrNotDone {
+		t.Fatalf("result before done: got %v, want ErrNotDone", err)
+	}
+	if err := conn.Heartbeat("r", delivery.Beat{Shard: 0}); err != delivery.ErrLeaseLost {
+		t.Fatalf("orphan heartbeat: got %v, want ErrLeaseLost", err)
+	}
+
+	job := dayJob(t, 4, 2)
+	if err := conn.Submit(job); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Submit(job); err == nil {
+		t.Fatal("second submit accepted")
+	}
+	st, err := conn.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Submitted || st.Devices != 4 || len(st.Shards) != 2 || st.SimTotalMS != int64(job.SimTotal()) {
+		t.Fatalf("status after submit: %+v", st)
+	}
+}

@@ -1,0 +1,69 @@
+package coord
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/coord/delivery"
+	"repro/internal/fleet"
+)
+
+// LocalOptions tunes RunLocal.
+type LocalOptions struct {
+	// Runners is the number of concurrent runner loops (default 1).
+	Runners int
+	// Workers bounds each runner's simulation worker pool (0 = one per
+	// CPU). With several runners on one machine, divide the CPUs.
+	Workers int
+	// Coordinator tunes the embedded coordinator (zero = defaults).
+	Coordinator Options
+	// OnProgress observes every Progress update of every runner.
+	OnProgress func(runner string, shard int, p fleet.Progress)
+	// Logf receives coordinator and runner event lines.
+	Logf func(format string, args ...any)
+}
+
+// RunLocal executes a job entirely in this process: an embedded
+// coordinator served over the in-process delivery mechanism, with
+// opt.Runners runner loops claiming shards from it. It is the full
+// coordinator/runner/delivery stack minus the network — a one-runner
+// RunLocal of a one-shard job is the degenerate case whose report is
+// byte-identical to a plain fleet.Run (asserted in tests), and
+// "cinder-fleet -shards n -runners k" is this function.
+func RunLocal(ctx context.Context, job fleet.Job, opt LocalOptions) (fleet.Report, error) {
+	runners := opt.Runners
+	if runners <= 0 {
+		runners = 1
+	}
+	co := New(opt.Coordinator)
+	if opt.Logf != nil && co.opts.Logf == nil {
+		co.opts.Logf = opt.Logf
+	}
+	srv := delivery.ServeInproc(co)
+	defer srv.Close()
+
+	if err := srv.Conn().Submit(job); err != nil {
+		return fleet.Report{}, err
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < runners; i++ {
+		id := fmt.Sprintf("local-%d", i)
+		r := &Runner{ID: id, Conn: srv.Conn(), Workers: opt.Workers, Logf: opt.Logf}
+		if opt.OnProgress != nil {
+			r.OnProgress = func(shard int, p fleet.Progress) { opt.OnProgress(id, shard, p) }
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Run(ctx)
+		}()
+	}
+	rep, err := co.Wait(ctx)
+	cancel()
+	wg.Wait()
+	return rep, err
+}

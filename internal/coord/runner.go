@@ -1,0 +1,195 @@
+package coord
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/coord/delivery"
+	"repro/internal/fleet"
+)
+
+// Runner is the worker side of the service: claim a shard, simulate
+// it, stream the partial back, repeat. Heartbeats ride a side
+// goroutine fed from the shard's Progress stream; if the coordinator
+// answers one with ErrLeaseLost the in-flight simulation is aborted
+// through the same Progress callback (the admission window stops
+// dispatching within one reduced device), so a superseded runner stops
+// burning CPU on work someone else now owns.
+type Runner struct {
+	// ID names this runner in leases and logs.
+	ID string
+	// Conn is the delivery connection to the coordinator.
+	Conn delivery.Conn
+	// Workers bounds the simulation worker pool (0 = one per CPU).
+	Workers int
+	// Poll is the idle wait between ErrNoWork claims (default 200ms).
+	Poll time.Duration
+	// OnProgress, when set, observes every Progress update of every
+	// shard this runner executes (tests use it to induce deaths; the
+	// CLI feeds its progress line from it).
+	OnProgress func(shard int, p fleet.Progress)
+	// Logf, when set, receives one line per task event.
+	Logf func(format string, args ...any)
+}
+
+// maxClaimFailures bounds consecutive transport errors before the
+// runner gives up on the coordinator.
+const maxClaimFailures = 10
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}
+
+func (r *Runner) poll() time.Duration {
+	if r.Poll > 0 {
+		return r.Poll
+	}
+	return 200 * time.Millisecond
+}
+
+// Run claims and executes shards until the job is done (nil), the
+// context ends, or the coordinator becomes unreachable.
+func (r *Runner) Run(ctx context.Context) error {
+	failures := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		task, err := r.Conn.Claim(r.ID)
+		switch {
+		case errors.Is(err, delivery.ErrDone):
+			return nil
+		case errors.Is(err, delivery.ErrNoWork):
+			if err := sleep(ctx, r.poll()); err != nil {
+				return err
+			}
+			continue
+		case err != nil:
+			failures++
+			if failures >= maxClaimFailures {
+				return err
+			}
+			if err := sleep(ctx, r.poll()); err != nil {
+				return err
+			}
+			continue
+		}
+		failures = 0
+		if err := r.runTask(ctx, task); err != nil {
+			return err
+		}
+	}
+}
+
+// runTask executes one leased shard. Only a context cancellation
+// propagates as an error; shard failures are reported to the
+// coordinator (which owns the retry budget) and lost leases are simply
+// abandoned.
+func (r *Runner) runTask(ctx context.Context, task delivery.Task) error {
+	lo, hi := task.Job.ShardRange(task.Shard)
+	r.logf("runner %s: shard %d [%d,%d) attempt %d (resume %v)",
+		r.ID, task.Shard, lo, hi, task.Attempt, task.Resume)
+
+	var mu sync.Mutex
+	beat := delivery.Beat{Shard: task.Shard, LastCheckpoint: -1}
+
+	// The heartbeat goroutine renews the lease on the coordinator's
+	// cadence and closes lost when the lease is gone.
+	lost := make(chan struct{})
+	hbStop := make(chan struct{})
+	hbDone := make(chan struct{})
+	interval := time.Duration(task.HeartbeatMS) * time.Millisecond
+	if interval <= 0 {
+		interval = time.Second
+	}
+	go func() {
+		defer close(hbDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+			mu.Lock()
+			b := beat
+			mu.Unlock()
+			err := r.Conn.Heartbeat(r.ID, b)
+			if errors.Is(err, delivery.ErrLeaseLost) || errors.Is(err, delivery.ErrDone) {
+				close(lost)
+				return
+			}
+			// A transport hiccup is survivable: the lease outlasts
+			// several missed beats, and the next beat retries.
+		}
+	}()
+
+	run := fleet.ShardRun{
+		Job:     task.Job,
+		Shard:   task.Shard,
+		Resume:  task.Resume,
+		Workers: r.Workers,
+		Progress: func(p fleet.Progress) error {
+			mu.Lock()
+			beat.DevicesDone = p.Done
+			beat.SimDoneMS = int64(p.SimDone())
+			beat.LastCheckpoint = p.LastCheckpoint
+			mu.Unlock()
+			if r.OnProgress != nil {
+				r.OnProgress(task.Shard, p)
+			}
+			select {
+			case <-lost:
+				return delivery.ErrLeaseLost
+			default:
+			}
+			return ctx.Err()
+		},
+	}
+	part, err := run.Run()
+	close(hbStop)
+	<-hbDone
+
+	switch {
+	case err == nil:
+		cerr := r.Conn.Complete(r.ID, task.Shard, part)
+		switch {
+		case cerr == nil:
+			r.logf("runner %s: shard %d complete", r.ID, task.Shard)
+		case errors.Is(cerr, delivery.ErrLeaseLost), errors.Is(cerr, delivery.ErrDone):
+			r.logf("runner %s: shard %d finished but lease was gone", r.ID, task.Shard)
+		default:
+			r.logf("runner %s: shard %d result undeliverable: %v", r.ID, task.Shard, cerr)
+		}
+		return nil
+	case errors.Is(err, delivery.ErrLeaseLost):
+		r.logf("runner %s: shard %d abandoned (lease lost)", r.ID, task.Shard)
+		return nil
+	case ctx.Err() != nil:
+		return ctx.Err()
+	default:
+		r.logf("runner %s: shard %d failed: %v", r.ID, task.Shard, err)
+		// Best effort: lease expiry covers us if this doesn't arrive.
+		r.Conn.Fail(r.ID, task.Shard, err.Error())
+		return nil
+	}
+}
+
+// sleep waits d or until the context ends.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -464,21 +464,27 @@ func runEpochs(cfg Config, workers int, agg *aggregate) error {
 	plan := planEpochs(cfg)
 
 	start := 0
-	if cfg.Resume {
+	if cfg.Resume || cfg.ResumeAuto {
 		for e := plan.count - 2; e >= 0; e-- {
 			if probeEpoch(cfg, plan, e, lo, hi) {
 				start = e + 1
 				break
 			}
 		}
-		if start == 0 {
+		if start == 0 && !cfg.ResumeAuto {
 			return fmt.Errorf("fleet: -resume: no complete epoch file matching this run in %s", cfg.CheckpointDir)
 		}
 	}
 
+	m := newMeter(&cfg, lo, hi, plan.count)
 	for e := start; e < plan.count; e++ {
 		endT := plan.end(cfg, e)
 		final := e == plan.count-1
+		passStart := units.Time(0)
+		if e > 0 {
+			passStart = plan.end(cfg, e-1)
+		}
+		m.pass(e, passStart, endT)
 
 		var in *epochReader
 		if e > 0 {
@@ -541,10 +547,15 @@ func runEpochs(cfg Config, workers int, agg *aggregate) error {
 		}
 		reduce := func(idx int, o outcome) error {
 			if final {
-				agg.add(o.res, cfg.KeepResults)
-				return nil
+				if err := accept(&cfg, agg, o.res); err != nil {
+					return err
+				}
+				return m.device()
 			}
-			return out.add(idx, o.kind, o.blob)
+			if err := out.add(idx, o.kind, o.blob); err != nil {
+				return err
+			}
+			return m.device()
 		}
 
 		err := pass(cfg, workers, lo, hi, feed, work, reduce)
@@ -559,6 +570,9 @@ func runEpochs(cfg Config, workers int, agg *aggregate) error {
 		}
 		if out != nil {
 			if err := out.finish(hi); err != nil {
+				return err
+			}
+			if err := m.checkpoint(e); err != nil {
 				return err
 			}
 		}

@@ -232,6 +232,25 @@ type Config struct {
 	// tests; reports are byte-identical either way.
 	DenseWatch bool
 
+	// PerDevice, when set, streams every completed device's result out
+	// of the reduction frontier, in strict device-index order, without
+	// retaining anything — the O(workers) alternative to KeepResults
+	// that the cinder-fleet -per-device-out NDJSON emitter rides (and
+	// KeepResults itself is implemented as one of these emitters). On
+	// checkpointed runs results exist only at the final epoch, so the
+	// emitter fires only on the final pass. A non-nil error aborts the
+	// run.
+	PerDevice func(DeviceResult) error
+
+	// Progress, when set, is called from the reduction frontier as each
+	// device completes a pass, and again when a checkpoint epoch is
+	// published — the feed behind cinder-fleet's periodic stderr line,
+	// runner heartbeats, and the coordinator's /status JSON. It runs on
+	// the reducing goroutine, strictly ordered. A non-nil error aborts
+	// the run promptly: in-flight devices finish, nothing new is
+	// dispatched (how a runner abandons a shard whose lease was lost).
+	Progress func(Progress) error
+
 	// ShardIndex/ShardCount partition the device index range across
 	// independent processes: shard i of n runs the contiguous range
 	// [i·N/n, (i+1)·N/n). Zero ShardCount means unsharded. Sharded runs
@@ -248,8 +267,95 @@ type Config struct {
 	CheckpointDir   string
 	CheckpointEvery units.Time
 	// Resume continues from the newest complete epoch file in
-	// CheckpointDir (an error if none matches this config).
-	Resume bool
+	// CheckpointDir (an error if none matches this config). ResumeAuto
+	// is the opportunistic form the coordinator uses when reassigning a
+	// lost shard: resume if a matching epoch file exists, start from
+	// t = 0 otherwise.
+	Resume     bool
+	ResumeAuto bool
+}
+
+// Progress is one update from a run's reduction frontier: how far the
+// current pass has advanced and where the last resumable checkpoint
+// sits. Consumers derive rates and ETAs from SimDone/SimTotal against
+// their own wall clock — the fleet itself never looks at real time.
+type Progress struct {
+	// Lo/Hi bound the device index range of the running pass; Done
+	// counts devices already reduced within it.
+	Lo, Hi, Done int
+	// Epoch/Epochs locate the current pass in the checkpoint plan
+	// (epoch 0 of 1 for uncheckpointed runs).
+	Epoch, Epochs int
+	// PassStart/PassEnd are the simulated span each device covers this
+	// pass; Horizon is the full per-device horizon.
+	PassStart, PassEnd, Horizon units.Time
+	// LastCheckpoint is the newest published epoch file's index, -1
+	// before any. Checkpointed marks the update announcing an epoch
+	// file publication (Done == Hi-Lo on those).
+	LastCheckpoint int
+	Checkpointed   bool
+}
+
+// SimDone is the simulated device-time completed so far: whole passes
+// for every device in range plus the current pass's reduced devices.
+// (Devices that died early are counted at the full horizon — their
+// remaining time costs nothing to "simulate" — so ETAs stay sane.)
+func (p Progress) SimDone() units.Time {
+	return units.Time(p.Hi-p.Lo)*p.PassStart + units.Time(p.Done)*(p.PassEnd-p.PassStart)
+}
+
+// SimTotal is the simulated device-time the whole range covers.
+func (p Progress) SimTotal() units.Time {
+	return units.Time(p.Hi-p.Lo) * p.Horizon
+}
+
+// meter tracks a run's progress feed: per-device and per-checkpoint
+// callbacks into Config.Progress, all from the reducing goroutine.
+type meter struct {
+	emit func(Progress) error
+	cur  Progress
+}
+
+func newMeter(cfg *Config, lo, hi, epochs int) *meter {
+	return &meter{
+		emit: cfg.Progress,
+		cur: Progress{
+			Lo: lo, Hi: hi, Epochs: epochs,
+			Horizon:        cfg.Duration,
+			LastCheckpoint: -1,
+		},
+	}
+}
+
+// pass positions the meter at the start of epoch e covering simulated
+// span [start, end) per device.
+func (m *meter) pass(e int, start, end units.Time) {
+	m.cur.Epoch, m.cur.PassStart, m.cur.PassEnd = e, start, end
+	m.cur.Done = 0
+	m.cur.Checkpointed = false
+	if e > 0 {
+		m.cur.LastCheckpoint = e - 1
+	}
+}
+
+// device records one reduced device.
+func (m *meter) device() error {
+	m.cur.Done++
+	m.cur.Checkpointed = false
+	if m.emit == nil {
+		return nil
+	}
+	return m.emit(m.cur)
+}
+
+// checkpoint records epoch e's file publication.
+func (m *meter) checkpoint(e int) error {
+	m.cur.LastCheckpoint = e
+	m.cur.Checkpointed = true
+	if m.emit == nil {
+		return nil
+	}
+	return m.emit(m.cur)
 }
 
 // Report is the deterministic aggregate of a fleet run.
@@ -513,32 +619,48 @@ func (r Report) marshalJSON(perDevice, canonical bool) ([]byte, error) {
 	}
 	if perDevice {
 		for _, d := range r.Results {
-			dj := deviceJSON{
-				Index:         d.Index,
-				Seed:          d.Seed,
-				Scenario:      d.Scenario,
-				ConsumedUJ:    int64(d.Consumed),
-				BatteryLeftUJ: int64(d.BatteryLeft),
-				Died:          d.Died,
-				DiedAtMS:      int64(d.DiedAt),
-				Utilization:   d.Utilization,
-				Activations:   d.RadioActivations,
-				Polls:         d.Polls,
-				Pages:         d.Pages,
-				PowerUps:      d.PowerUps,
-				SMSSent:       d.SMSSent,
-				Calls:         d.CallsPlaced,
-			}
-			if !canonical {
-				dj.EngineSteps = d.EngineSteps
-				dj.FlowWalks = d.FlowWalks
-				dj.SettledBatches = d.SettledBatches
-				dj.SettledSweeps = d.SettledSweeps
-			}
-			out.Results = append(out.Results, dj)
+			out.Results = append(out.Results, deviceWire(d, canonical))
 		}
 	}
 	return json.MarshalIndent(out, "", "  ")
+}
+
+// deviceWire converts one device result to its stable wire form — the
+// entries of the report's results array, and the records the NDJSON
+// emitter streams.
+func deviceWire(d DeviceResult, canonical bool) deviceJSON {
+	dj := deviceJSON{
+		Index:         d.Index,
+		Seed:          d.Seed,
+		Scenario:      d.Scenario,
+		ConsumedUJ:    int64(d.Consumed),
+		BatteryLeftUJ: int64(d.BatteryLeft),
+		Died:          d.Died,
+		DiedAtMS:      int64(d.DiedAt),
+		Utilization:   d.Utilization,
+		Activations:   d.RadioActivations,
+		Polls:         d.Polls,
+		Pages:         d.Pages,
+		PowerUps:      d.PowerUps,
+		SMSSent:       d.SMSSent,
+		Calls:         d.CallsPlaced,
+	}
+	if !canonical {
+		dj.EngineSteps = d.EngineSteps
+		dj.FlowWalks = d.FlowWalks
+		dj.SettledBatches = d.SettledBatches
+		dj.SettledSweeps = d.SettledSweeps
+	}
+	return dj
+}
+
+// NDJSON renders the result as one compact JSON line (no trailing
+// newline), the per-device streaming form: the same schema as the
+// report's results array, so a file of these lines is the results
+// array unrolled. canonical zeroes the engine diagnostics exactly as
+// Report.CanonicalJSON does.
+func (d DeviceResult) NDJSON(canonical bool) ([]byte, error) {
+	return json.Marshal(deviceWire(d, canonical))
 }
 
 // validate normalizes and checks a config, returning the resolved
@@ -607,23 +729,55 @@ func Run(cfg Config) (Report, error) {
 	if cfg.ShardCount > 0 {
 		return Report{}, fmt.Errorf("fleet: sharded configs run through RunShard")
 	}
-	agg := newAggregate()
-	if cfg.CheckpointDir != "" {
-		if err := runEpochs(cfg, workers, agg); err != nil {
-			return Report{}, err
-		}
-	} else {
-		if err := runWhole(cfg, workers, agg); err != nil {
-			return Report{}, err
+	var results []DeviceResult
+	if cfg.KeepResults {
+		// Result retention is itself a PerDevice emitter: the run
+		// streams either way, and the array exists only here.
+		user := cfg.PerDevice
+		cfg.PerDevice = func(r DeviceResult) error {
+			results = append(results, r)
+			if user != nil {
+				return user(r)
+			}
+			return nil
 		}
 	}
-	return agg.finish(cfg, workers), nil
+	agg := newAggregate()
+	if err := runRange(cfg, workers, agg); err != nil {
+		return Report{}, err
+	}
+	rep := agg.finish(cfg, workers)
+	rep.Results = results
+	return rep, nil
+}
+
+// runRange simulates the config's device range into the aggregate —
+// the code path Run, RunShard, and every coordinator-dispatched
+// ShardRun share. With a checkpoint dir the range proceeds epoch by
+// epoch; otherwise each device runs its whole horizon in one pass.
+func runRange(cfg Config, workers int, agg *aggregate) error {
+	if cfg.CheckpointDir != "" {
+		return runEpochs(cfg, workers, agg)
+	}
+	return runWhole(cfg, workers, agg)
+}
+
+// accept folds one final device result into the aggregate and streams
+// it to the PerDevice emitter.
+func accept(cfg *Config, agg *aggregate, res DeviceResult) error {
+	agg.add(res)
+	if cfg.PerDevice == nil {
+		return nil
+	}
+	return cfg.PerDevice(res)
 }
 
 // runWhole is the single-pass path: every device simulates its full
 // horizon in one go.
 func runWhole(cfg Config, workers int, agg *aggregate) error {
 	lo, hi := cfg.shardRange()
+	m := newMeter(&cfg, lo, hi, 1)
+	m.pass(0, 0, cfg.Duration)
 	return pass(cfg, workers, lo, hi, nil,
 		func(idx int, _ []byte, rg *rig) outcome {
 			d, res, err := buildDevice(cfg, idx, rg)
@@ -635,8 +789,10 @@ func runWhole(cfg Config, workers int, agg *aggregate) error {
 			return outcome{res: *res}
 		},
 		func(_ int, o outcome) error {
-			agg.add(o.res, cfg.KeepResults)
-			return nil
+			if err := accept(&cfg, agg, o.res); err != nil {
+				return err
+			}
+			return m.device()
 		})
 }
 
@@ -723,18 +879,29 @@ func pass(cfg Config, workers, lo, hi int,
 	for ; dispatched < lo+window; dispatched++ {
 		dispatch(dispatched)
 	}
+	closed := false
+	closeIndex := func() {
+		if !closed {
+			closed = true
+			close(indexCh)
+		}
+	}
 	if dispatched == hi {
-		close(indexCh)
+		closeIndex()
 	}
 
+	// The reduction loop drains every dispatched index, but once an
+	// error (a failed device, a failed reduce, or an aborting Progress
+	// callback) is recorded it stops dispatching new work, so an abort
+	// costs at most the in-flight window rather than the whole range.
 	var firstErr error
 	if feedErr != nil {
 		firstErr = feedErr
 	}
-	for frontier := lo; frontier < hi; {
+	for frontier := lo; frontier < dispatched; {
 		i := <-resultCh
 		ring[(i-lo)%window].done = true
-		for frontier < hi && ring[(frontier-lo)%window].done {
+		for frontier < dispatched && ring[(frontier-lo)%window].done {
 			s := &ring[(frontier-lo)%window]
 			if firstErr == nil && feedErr != nil {
 				firstErr = feedErr
@@ -748,15 +915,16 @@ func pass(cfg Config, workers, lo, hi int,
 			}
 			*s = slot{}
 			frontier++
-			if dispatched < hi {
+			if dispatched < hi && firstErr == nil {
 				dispatch(dispatched)
 				dispatched++
-				if dispatched == hi {
-					close(indexCh)
-				}
+			}
+			if dispatched == hi || firstErr != nil {
+				closeIndex()
 			}
 		}
 	}
+	closeIndex()
 	wg.Wait()
 	return firstErr
 }
@@ -926,8 +1094,7 @@ type aggregate struct {
 	dead          int
 	lives         sketch.Hist
 
-	byName  map[string]*bucketAgg
-	results []DeviceResult
+	byName map[string]*bucketAgg
 }
 
 // bucketAgg is one scenario bucket's mergeable aggregate.
@@ -955,7 +1122,7 @@ func newAggregate() *aggregate {
 }
 
 // add folds one device's result into the aggregate.
-func (a *aggregate) add(r DeviceResult, keep bool) {
+func (a *aggregate) add(r DeviceResult) {
 	a.totalConsumed += r.Consumed
 	if a.seen == 0 || r.Consumed < a.minConsumed {
 		a.minConsumed = r.Consumed
@@ -1000,10 +1167,6 @@ func (a *aggregate) add(r DeviceResult, keep bool) {
 	if r.Died {
 		b.dead++
 		b.lives.Add(int64(r.DiedAt))
-	}
-
-	if keep {
-		a.results = append(a.results, r)
 	}
 }
 
@@ -1086,7 +1249,6 @@ func (a *aggregate) finish(cfg Config, workers int) Report {
 		TotalFlowWalks:      a.flowWalks,
 		TotalSettledBatches: a.settled,
 		TotalSettledSweeps:  a.settledSweeps,
-		Results:             a.results,
 	}
 	rep.MeanConsumed = rep.TotalConsumed / units.Energy(rep.Devices)
 	if a.dead > 0 {

@@ -104,14 +104,8 @@ func RunShard(cfg Config) (*Partial, error) {
 		return nil, fmt.Errorf("fleet: RunShard needs ShardCount > 0")
 	}
 	agg := newAggregate()
-	if cfg.CheckpointDir != "" {
-		if err := runEpochs(cfg, workers, agg); err != nil {
-			return nil, err
-		}
-	} else {
-		if err := runWhole(cfg, workers, agg); err != nil {
-			return nil, err
-		}
+	if err := runRange(cfg, workers, agg); err != nil {
+		return nil, err
 	}
 	return packPartial(cfg, agg), nil
 }
