@@ -56,9 +56,10 @@ func realMain() int {
 		fixedTick = flag.Bool("fixed-tick", false, "use the fixed-tick compat engine (A/B timing)")
 		perBatch  = flag.Bool("per-batch", false, "disable closed-form tap settlement (A/B timing)")
 		perSweep  = flag.Bool("per-sweep", false, "disable closed-form netd sweep settlement (A/B timing)")
+		perCharge = flag.Bool("per-charge", false, "disable closed-form charger settlement (A/B timing)")
 		noRecycle = flag.Bool("no-recycle", false, "construct every device from scratch instead of recycling worker machinery (A/B timing)")
 		jsonOut   = flag.Bool("json", false, "emit the deterministic JSON report (docs/fleet-report.md) instead of text")
-		canonOut  = flag.Bool("canonical", false, "with -json: zero the engine diagnostics (engine_steps, flow_walks, settled_batches, settled_sweeps) — the form that is byte-identical across engine/settle modes and checkpoint/resume")
+		canonOut  = flag.Bool("canonical", false, "with -json: zero the engine diagnostics (engine_steps, flow_walks, settled_batches, settled_sweeps, settled_charges) — the form that is byte-identical across engine/settle modes and checkpoint/resume")
 		sweep     = flag.String("sweep", "", "sweep mode, e.g. battery-j=15000,30000,60000: run the fleet once per value")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -156,6 +157,9 @@ func realMain() int {
 	}
 	if *perSweep {
 		cfg.NetdSettle = kernel.SettlePerBatch
+	}
+	if *perCharge {
+		cfg.ChargerSettle = kernel.SettlePerBatch
 	}
 
 	if *shardsN > 0 || *runnersN > 0 {

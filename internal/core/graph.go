@@ -69,8 +69,13 @@ type Graph struct {
 	tapSeq   uint64
 	consumed units.Energy
 	capacity units.Energy
-	halfLife units.Time
-	strict   bool
+	// recharged accumulates external energy credited into the battery
+	// by a charger (ChargeBattery). It is the one inflow that is not a
+	// redistribution of the initial capacity, so conservation becomes
+	// TotalHeld + Consumed − Capacity − Recharged == 0.
+	recharged units.Energy
+	halfLife  units.Time
+	strict    bool
 	// Settlement state (settle.go): per-plan epoch, reusable partition
 	// buffers, and the walk/settled counters surfaced in fleet reports.
 	settleEpoch     uint64
@@ -180,6 +185,7 @@ func (g *Graph) Reset(t *kobj.Table, root *kobj.Container, batteryLabel label.La
 	g.flowHook = nil
 	g.tapSeq = 0
 	g.consumed = 0
+	g.recharged = 0
 	g.capacity = cfg.BatteryCapacity
 	g.halfLife = cfg.DecayHalfLife
 	g.strict = cfg.StrictHoarding
@@ -542,11 +548,38 @@ func (g *Graph) TotalHeld() units.Energy {
 	return sum
 }
 
-// ConservationError returns TotalHeld + Consumed − Capacity, which is
-// zero in a correct graph. Property tests assert this stays exactly
-// zero across arbitrary operation sequences.
+// Recharged returns the total external energy accepted into the battery
+// through ChargeBattery since the graph was created.
+func (g *Graph) Recharged() units.Energy { return g.recharged }
+
+// ChargeBattery credits up to amount of external energy (a wall or USB
+// charger) into the battery, clamping at the rated capacity: a full
+// battery accepts nothing, and the battery level never overshoots. It
+// returns the energy actually accepted. Unlike every other movement in
+// the graph this is not a redistribution of the initial capacity, so
+// the accepted amount is tracked separately (Recharged) and extends the
+// conservation identity rather than violating it.
+func (g *Graph) ChargeBattery(amount units.Energy) units.Energy {
+	if amount <= 0 {
+		return 0
+	}
+	room := g.capacity - g.battery.level
+	if room <= 0 {
+		return 0
+	}
+	if amount > room {
+		amount = room
+	}
+	g.battery.credit(amount)
+	g.recharged += amount
+	return amount
+}
+
+// ConservationError returns TotalHeld + Consumed − Capacity − Recharged,
+// which is zero in a correct graph. Property tests assert this stays
+// exactly zero across arbitrary operation sequences.
 func (g *Graph) ConservationError() units.Energy {
-	return g.TotalHeld() + g.consumed - g.capacity
+	return g.TotalHeld() + g.consumed - g.capacity - g.recharged
 }
 
 // Reserves returns the live reserves in creation order (battery first).

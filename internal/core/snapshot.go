@@ -20,6 +20,7 @@ import (
 func (g *Graph) Snapshot(w *snap.Writer) {
 	w.Section("graph")
 	w.I64(int64(g.consumed))
+	w.I64(int64(g.recharged))
 	w.I64(int64(g.capacity))
 	w.U64(g.tapSeq)
 	w.I64(g.flowWalks)
@@ -53,6 +54,7 @@ func (g *Graph) Snapshot(w *snap.Writer) {
 func (g *Graph) Restore(r *snap.Reader) error {
 	r.Section("graph")
 	consumed := units.Energy(r.I64())
+	recharged := units.Energy(r.I64())
 	capacity := units.Energy(r.I64())
 	tapSeq := r.U64()
 	flowWalks := r.I64()
@@ -130,6 +132,7 @@ func (g *Graph) Restore(r *snap.Reader) error {
 		}
 	}
 	g.consumed = consumed
+	g.recharged = recharged
 	g.tapSeq = tapSeq
 	g.flowWalks = flowWalks
 	g.settledBatches = settledBatches

@@ -67,8 +67,19 @@ func (e *ActivationEstimator) Observe(cost units.Energy) {
 		copy(e.history, e.history[1:])
 		e.history[len(e.history)-1] = cost
 	}
-	// estimate += α (cost − estimate), in integer percent arithmetic.
-	e.estimate += units.Energy(int64(cost-e.estimate) * e.alphaPct / 100)
+	// estimate += α (cost − estimate), in integer percent arithmetic,
+	// rounding the correction half away from zero. Go's integer division
+	// truncates toward zero, so a truncating EWMA dead-bands any delta
+	// below 100/α µJ — in the downward direction that means one high
+	// outlier would ratchet the estimate up and small corrections could
+	// never walk it back down, over-predicting forever.
+	num := int64(cost-e.estimate) * e.alphaPct
+	if num >= 0 {
+		num += 50
+	} else {
+		num -= 50
+	}
+	e.estimate += units.Energy(num / 100)
 }
 
 // Estimate returns the current activation-cost prediction.
@@ -77,9 +88,15 @@ func (e *ActivationEstimator) Estimate() units.Energy { return e.estimate }
 // Observations returns the number of episodes folded in.
 func (e *ActivationEstimator) Observations() int64 { return e.observations }
 
-// Bounds returns the extremes observed so far (min is MaxEnergy before
-// the first observation).
-func (e *ActivationEstimator) Bounds() (min, max units.Energy) { return e.min, e.max }
+// Bounds returns the extremes observed so far, or (0, 0) before the
+// first observation — the internal min sentinel (MaxEnergy) and the
+// zero max are meaningless individually and used to leak through.
+func (e *ActivationEstimator) Bounds() (min, max units.Energy) {
+	if e.observations == 0 {
+		return 0, 0
+	}
+	return e.min, e.max
+}
 
 // String renders the estimator state.
 func (e *ActivationEstimator) String() string {

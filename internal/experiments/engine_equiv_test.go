@@ -104,6 +104,30 @@ var extendedEquivalence = map[string]fleet.Config{
 		Workers:  2,
 		Scenario: fleet.WeekInTheLife(),
 	},
+	// 26 h of the month covers a full overnight charge window (22:30 +
+	// 7 h, spanning midnight) plus the metered evening browse, with
+	// seed 3 drawing both T60p laptops and Dream phones among the four
+	// devices — the charger credit path and the mixed-hardware split
+	// both cross the fixed-tick oracle.
+	"monthinthelife": {
+		Devices:  4,
+		Seed:     3,
+		Duration: 26 * units.Hour,
+		Workers:  2,
+		Scenario: fleet.MonthInTheLife(),
+	},
+	// 16 h of the adversarial day puts all three cohorts (seed 13:
+	// lax, two victims, strict) through the hoarder's grab tap, the
+	// backward tax and the once-a-minute evasion attempts, with the
+	// small-battery hoarders reaching their clamped endgame inside the
+	// horizon.
+	"adversarial": {
+		Devices:  4,
+		Seed:     13,
+		Duration: 16 * units.Hour,
+		Workers:  2,
+		Scenario: fleet.AdversarialCohorts(),
+	},
 }
 
 // TestExtendedEngineEquivalence runs every extended-registry experiment's

@@ -32,8 +32,10 @@ var registry = map[string]Runner{
 // (`cinder-sim -exp dayinthelife`), listed separately, excluded from
 // RunAll's frozen output.
 var extended = map[string]Runner{
-	"dayinthelife":  func() Result { return DayInTheLife(DefaultDayInTheLifeOptions()) },
-	"weekinthelife": func() Result { return WeekInTheLife(DefaultWeekInTheLifeOptions()) },
+	"dayinthelife":   func() Result { return DayInTheLife(DefaultDayInTheLifeOptions()) },
+	"weekinthelife":  func() Result { return WeekInTheLife(DefaultWeekInTheLifeOptions()) },
+	"monthinthelife": func() Result { return MonthInTheLife(DefaultMonthInTheLifeOptions()) },
+	"adversarial":    func() Result { return Adversarial(DefaultAdversarialOptions()) },
 }
 
 // Names returns the paper-artifact experiment IDs, sorted. The set is

@@ -146,6 +146,8 @@ func encodeResult(res DeviceResult) ([]byte, error) {
 	w.String(res.Scenario)
 	w.I64(int64(res.Consumed))
 	w.I64(int64(res.BatteryLeft))
+	w.I64(int64(res.Recharged))
+	w.I64(int64(res.Reclaimed))
 	w.Bool(res.Died)
 	w.I64(int64(res.DiedAt))
 	w.U64(math.Float64bits(res.Utilization))
@@ -161,6 +163,7 @@ func encodeResult(res DeviceResult) ([]byte, error) {
 	w.I64(res.FlowWalks)
 	w.I64(res.SettledBatches)
 	w.I64(res.SettledSweeps)
+	w.I64(res.SettledCharges)
 	return w.Finish()
 }
 
@@ -178,6 +181,8 @@ func decodeResult(blob []byte) (DeviceResult, error) {
 	}
 	res.Consumed = units.Energy(r.I64())
 	res.BatteryLeft = units.Energy(r.I64())
+	res.Recharged = units.Energy(r.I64())
+	res.Reclaimed = units.Energy(r.I64())
 	res.Died = r.Bool()
 	res.DiedAt = units.Time(r.I64())
 	res.Utilization = math.Float64frombits(r.U64())
@@ -193,6 +198,7 @@ func decodeResult(blob []byte) (DeviceResult, error) {
 	res.FlowWalks = r.I64()
 	res.SettledBatches = r.I64()
 	res.SettledSweeps = r.I64()
+	res.SettledCharges = r.I64()
 	if err := r.Err(); err != nil {
 		return DeviceResult{}, err
 	}
@@ -252,6 +258,7 @@ func writeEpochHeader(w *snap.Writer, cfg Config, plan epochPlan, e, lo, hi int)
 	w.U64(uint64(cfg.EngineMode))
 	w.U64(uint64(cfg.Settle))
 	w.U64(uint64(cfg.NetdSettle))
+	w.U64(uint64(cfg.ChargerSettle))
 	w.Bool(cfg.DenseWatch)
 }
 
@@ -270,6 +277,7 @@ func checkEpochHeader(r *snap.Reader, cfg Config, plan epochPlan, e, lo, hi int)
 	engineMode := r.U64()
 	settle := r.U64()
 	netdSettle := r.U64()
+	chargerSettle := r.U64()
 	dense := r.Bool()
 	if err := r.Err(); err != nil {
 		return err
@@ -290,9 +298,11 @@ func checkEpochHeader(r *snap.Reader, cfg Config, plan epochPlan, e, lo, hi int)
 		return fmt.Errorf("fleet: epoch file battery override %v, run has %v", battery, cfg.BatteryCapacity)
 	case lifeRes != cfg.LifeResolution:
 		return fmt.Errorf("fleet: epoch file life resolution %v, run has %v", lifeRes, cfg.LifeResolution)
-	case engineMode != uint64(cfg.EngineMode) || settle != uint64(cfg.Settle) || netdSettle != uint64(cfg.NetdSettle):
-		return fmt.Errorf("fleet: epoch file engine/settle/netd-settle modes (%d,%d,%d) differ from run (%d,%d,%d)",
-			engineMode, settle, netdSettle, uint64(cfg.EngineMode), uint64(cfg.Settle), uint64(cfg.NetdSettle))
+	case engineMode != uint64(cfg.EngineMode) || settle != uint64(cfg.Settle) ||
+		netdSettle != uint64(cfg.NetdSettle) || chargerSettle != uint64(cfg.ChargerSettle):
+		return fmt.Errorf("fleet: epoch file engine/settle/netd-settle/charger-settle modes (%d,%d,%d,%d) differ from run (%d,%d,%d,%d)",
+			engineMode, settle, netdSettle, chargerSettle,
+			uint64(cfg.EngineMode), uint64(cfg.Settle), uint64(cfg.NetdSettle), uint64(cfg.ChargerSettle))
 	case dense != cfg.DenseWatch:
 		return fmt.Errorf("fleet: epoch file dense-watch %v, run has %v", dense, cfg.DenseWatch)
 	}

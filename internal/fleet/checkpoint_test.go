@@ -258,12 +258,15 @@ func time2h() units.Time { return 2 * units.Hour }
 func TestDeadDevicePassthrough(t *testing.T) {
 	dir := t.TempDir()
 	cfg := Config{
-		Devices:         6,
-		Seed:            5,
-		Duration:        3 * 24 * units.Hour,
-		Workers:         2,
-		Scenario:        WeekInTheLife(),
-		BatteryCapacity: 90 * units.Kilojoule, // everything dies mid-day-2
+		Devices:  6,
+		Seed:     5,
+		Duration: 3 * 24 * units.Hour,
+		Workers:  2,
+		// DayInTheLife does not provision per-device batteries, so the
+		// fleet-level override is legal here (weekinthelife would reject
+		// it loudly) and kills everything mid-day-2.
+		Scenario:        DayInTheLife(),
+		BatteryCapacity: 90 * units.Kilojoule,
 		KeepResults:     true,
 	}
 	plain, err := Run(cfg)

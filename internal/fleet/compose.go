@@ -10,6 +10,7 @@ import (
 	"repro/internal/label"
 	"repro/internal/msm"
 	"repro/internal/netd"
+	"repro/internal/netquota"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/snap"
@@ -280,6 +281,14 @@ type Browse struct {
 	ThinkMin, ThinkMax units.Time
 	// Rate funds the session's reserve (default 300 mW).
 	Rate units.Power
+	// Allowance, when non-nil, meters the session against a data plan:
+	// each page charges ReqBytes+PageBytes all-or-nothing before
+	// touching the network and is skipped (thought over, not retried)
+	// when the plan refuses — the netquota subsystem as a workload
+	// participant rather than a unit-test fixture. A refused page still
+	// consumes its think time, so an exhausted plan shows up as a lower
+	// Pages count, not a hot retry loop.
+	Allowance *netquota.Allowance
 }
 
 // Name implements Workload.
@@ -317,7 +326,7 @@ func (b Browse) Install(d *Device, w Window) error {
 	}
 
 	k := d.Kernel
-	br := &browser{k: k, pageBytes: pageBytes, reqBytes: reqBytes, thinks: thinks}
+	br := &browser{k: k, pageBytes: pageBytes, reqBytes: reqBytes, thinks: thinks, allow: b.Allowance}
 	var ctr *kobj.Container
 	k.Eng.At(w.Start, func(*sim.Engine) {
 		c := kobj.NewContainer(k.Table, k.Root, "browse", label.Public())
@@ -368,6 +377,7 @@ type browser struct {
 	pageBytes int
 	reqBytes  int
 	thinks    []units.Time
+	allow     *netquota.Allowance
 	page      int
 	loaded    int
 	next      units.Time
@@ -384,6 +394,14 @@ func (b *browser) step(now units.Time, th *sched.Thread) {
 	}
 	think := b.thinks[b.page]
 	b.page++
+	if b.allow != nil {
+		if err := b.allow.Charge(label.Priv{}, netquota.Bytes(b.reqBytes+b.pageBytes)); err != nil {
+			// Plan exhausted: skip the page and think about it.
+			b.next = now + think
+			th.Sleep(b.next)
+			return
+		}
+	}
 	req := netd.Request{
 		ReqBytes:  b.reqBytes,
 		RespBytes: b.pageBytes,

@@ -37,6 +37,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/msm"
 	"repro/internal/netd"
+	"repro/internal/power"
 	"repro/internal/radio"
 	"repro/internal/sim"
 	"repro/internal/sketch"
@@ -72,6 +73,10 @@ type Device struct {
 	// report breakdowns. runDevice seeds it with the config scenario's
 	// name; Mix overrides it with the chosen entry's name.
 	Scenario string
+	// ChargerSettle is the fleet-level charger settlement mode, copied
+	// here so scenarios that attach a charger at Build time pass the
+	// A/B knob through (kernel.ChargerConfig.Settle).
+	ChargerSettle kernel.SettleMode
 	// Probes are scenario-installed callbacks run after the simulation
 	// to add workload counters into the DeviceResult (PollerScenario
 	// accumulates completed polls into Polls this way).
@@ -119,6 +124,14 @@ type DeviceResult struct {
 	Consumed units.Energy
 	// BatteryLeft is the battery level at the end.
 	BatteryLeft units.Energy
+	// Recharged is external energy credited into the battery by a
+	// charger over the run (zero on discharge-only scenarios). It is
+	// energy-shaped and mode-independent, so it stays in CanonicalJSON.
+	Recharged units.Energy
+	// Reclaimed is energy the §5.2.2 anti-hoarding decay pulled back
+	// out of scenario-flagged hoard reserves (scenario probes fill it;
+	// zero elsewhere). Canonical: decay is deterministic.
+	Reclaimed units.Energy
 	// Died reports battery exhaustion; DiedAt is the instant it was
 	// detected (which can legitimately be 0 for a battery too small to
 	// cover a single baseline batch).
@@ -156,6 +169,10 @@ type DeviceResult struct {
 	// form instead of executed (diagnostics, excluded from
 	// CanonicalJSON).
 	SettledSweeps int64
+	// SettledCharges counts charger quantum boundaries accounted in
+	// closed form instead of executed (diagnostics, excluded from
+	// CanonicalJSON).
+	SettledCharges int64
 }
 
 // Scenario builds a workload onto a device. Implementations must be
@@ -171,10 +188,26 @@ type Scenario interface {
 // scenario draws before the device's kernel is built — the knobs that
 // must be fixed at construction time and therefore cannot be chosen
 // from inside Build.
+//
+// Precedence: a fleet-level Config.BatteryCapacity and a provisioned
+// BatteryCapacity are a contradiction — the first says "every device
+// gets this battery", the second says "this device draws its own" —
+// so buildDevice rejects the combination loudly instead of letting one
+// silently win (a -sweep battery-j run against a provisioning scenario
+// used to quietly disable the heterogeneous population).
 type DeviceProvision struct {
 	// BatteryCapacity overrides the profile battery for this device.
 	// Zero keeps the fleet-level setting.
 	BatteryCapacity units.Energy
+	// Profile selects the device's hardware power model. The zero
+	// Profile (empty Name) keeps the kernel default (the HTC Dream);
+	// a mixed-hardware population provisions power.LaptopT60p() for
+	// some devices and the radio, baseline and battery all follow.
+	Profile power.Profile
+	// StrictHoarding enables the §5.2.2 fundamental anti-hoarding rule
+	// on this device's kernel — the per-cohort knob adversarial
+	// populations flip on their hoarder slice.
+	StrictHoarding bool
 }
 
 // Provisioner is optionally implemented by scenarios that model a
@@ -216,6 +249,13 @@ type Config struct {
 	// tests — the cinder-fleet -per-sweep flag). Reports are
 	// byte-identical either way.
 	NetdSettle kernel.SettleMode
+	// ChargerSettle selects the battery charger's settlement strategy
+	// for scenarios that plug devices in overnight (default closed-form
+	// telescoped recharge; the per-quantum compat mode exists for A/B
+	// timing and differential tests — the cinder-fleet -per-charge
+	// flag). Reports are byte-identical either way; scenarios read it
+	// off Device.ChargerSettle when attaching the charger.
+	ChargerSettle kernel.SettleMode
 	// KeepResults retains the per-device result array on the Report.
 	// Off (the default) the run streams each DeviceResult into the
 	// aggregate and drops it, so fleet memory stays O(workers + buckets)
@@ -371,6 +411,12 @@ type Report struct {
 	MinConsumed   units.Energy
 	MaxConsumed   units.Energy
 
+	// TotalRecharged is external charger energy credited fleet-wide;
+	// TotalReclaimed is hoarded energy the anti-hoarding decay pulled
+	// back (both zero on scenarios without chargers / hoard probes).
+	TotalRecharged units.Energy
+	TotalReclaimed units.Energy
+
 	// MeanUtilization is the fleet-wide CPU busy percentage:
 	// 100·Σbusy/Σ(busy+idle) over all devices. The tick sums (not the
 	// ratio) are what aggregation carries, so sharded runs merge
@@ -398,6 +444,7 @@ type Report struct {
 	TotalFlowWalks      int64
 	TotalSettledBatches int64
 	TotalSettledSweeps  int64
+	TotalSettledCharges int64
 
 	// Buckets break the fleet down per scenario bucket, sorted by
 	// name. Single-scenario runs have exactly one bucket; Mix fleets
@@ -416,6 +463,13 @@ type Bucket struct {
 	TotalConsumed units.Energy
 	MeanConsumed  units.Energy
 
+	// Recharged and Reclaimed are the bucket's charger credits and
+	// anti-hoarding reclamation sums — the per-cohort split is what the
+	// §5.2.2 containment measurement reads (hoarder bucket's Reclaimed
+	// against victim bucket's LifeP50).
+	Recharged units.Energy
+	Reclaimed units.Energy
+
 	MeanUtilization float64
 
 	Polls       int64
@@ -433,6 +487,7 @@ type Bucket struct {
 	MeanFlowWalks      int64
 	MeanSettledBatches int64
 	MeanSettledSweeps  int64
+	MeanSettledCharges int64
 
 	Dead    int
 	LifeP50 units.Time
@@ -450,6 +505,10 @@ func (r Report) Format() string {
 		r.Devices, r.Duration, r.Scenario, r.Seed)
 	fmt.Fprintf(&b, "  consumed: total %v, mean %v, min %v, max %v\n",
 		r.TotalConsumed, r.MeanConsumed, r.MinConsumed, r.MaxConsumed)
+	if r.TotalRecharged > 0 || r.TotalReclaimed > 0 {
+		fmt.Fprintf(&b, "  recharged: total %v, hoard reclaimed: %v\n",
+			r.TotalRecharged, r.TotalReclaimed)
+	}
 	fmt.Fprintf(&b, "  cpu utilization: mean %.3f%%\n", r.MeanUtilization)
 	fmt.Fprintf(&b, "  polls: %d, radio activations: %d, netd power-ups: %d\n",
 		r.TotalPolls, r.TotalActivations, r.TotalPowerUps)
@@ -490,6 +549,8 @@ type reportJSON struct {
 	MeanConsumedUJ  int64   `json:"mean_consumed_uj"`
 	MinConsumedUJ   int64   `json:"min_consumed_uj"`
 	MaxConsumedUJ   int64   `json:"max_consumed_uj"`
+	RechargedUJ     int64   `json:"recharged_uj,omitempty"`
+	ReclaimedUJ     int64   `json:"reclaimed_uj,omitempty"`
 	MeanUtilization float64 `json:"mean_utilization_pct"`
 
 	Polls       int64 `json:"polls"`
@@ -504,30 +565,34 @@ type reportJSON struct {
 	FlowWalks      int64  `json:"flow_walks"`
 	SettledBatches int64  `json:"settled_batches"`
 	SettledSweeps  int64  `json:"settled_sweeps"`
+	SettledCharges int64  `json:"settled_charges,omitempty"`
 
 	Buckets []bucketJSON `json:"buckets"`
 	Results []deviceJSON `json:"results,omitempty"`
 }
 
 type bucketJSON struct {
-	Name              string  `json:"name"`
-	Devices           int     `json:"devices"`
-	TotalConsumedUJ   int64   `json:"total_consumed_uj"`
-	MeanConsumedUJ    int64   `json:"mean_consumed_uj"`
-	MeanUtilization   float64 `json:"mean_utilization_pct"`
-	Polls             int64   `json:"polls"`
-	Pages             int64   `json:"pages"`
-	Activations       int64   `json:"radio_activations"`
-	PowerUps          int64   `json:"netd_power_ups"`
-	SMSSent           int64   `json:"sms_sent"`
-	Calls             int64   `json:"calls_placed"`
-	MeanSteps         uint64  `json:"mean_engine_steps"`
-	MeanFlowWalks     int64   `json:"mean_flow_walks"`
-	MeanSettled       int64   `json:"mean_settled_batches"`
-	MeanSettledSweeps int64   `json:"mean_settled_sweeps"`
-	Dead              int     `json:"dead"`
-	LifeP50MS         int64   `json:"life_p50_ms"`
-	LifeP90MS         int64   `json:"life_p90_ms"`
+	Name               string  `json:"name"`
+	Devices            int     `json:"devices"`
+	TotalConsumedUJ    int64   `json:"total_consumed_uj"`
+	MeanConsumedUJ     int64   `json:"mean_consumed_uj"`
+	RechargedUJ        int64   `json:"recharged_uj,omitempty"`
+	ReclaimedUJ        int64   `json:"reclaimed_uj,omitempty"`
+	MeanUtilization    float64 `json:"mean_utilization_pct"`
+	Polls              int64   `json:"polls"`
+	Pages              int64   `json:"pages"`
+	Activations        int64   `json:"radio_activations"`
+	PowerUps           int64   `json:"netd_power_ups"`
+	SMSSent            int64   `json:"sms_sent"`
+	Calls              int64   `json:"calls_placed"`
+	MeanSteps          uint64  `json:"mean_engine_steps"`
+	MeanFlowWalks      int64   `json:"mean_flow_walks"`
+	MeanSettled        int64   `json:"mean_settled_batches"`
+	MeanSettledSweeps  int64   `json:"mean_settled_sweeps"`
+	MeanSettledCharges int64   `json:"mean_settled_charges,omitempty"`
+	Dead               int     `json:"dead"`
+	LifeP50MS          int64   `json:"life_p50_ms"`
+	LifeP90MS          int64   `json:"life_p90_ms"`
 }
 
 type deviceJSON struct {
@@ -536,6 +601,8 @@ type deviceJSON struct {
 	Scenario       string  `json:"scenario"`
 	ConsumedUJ     int64   `json:"consumed_uj"`
 	BatteryLeftUJ  int64   `json:"battery_left_uj"`
+	RechargedUJ    int64   `json:"recharged_uj,omitempty"`
+	ReclaimedUJ    int64   `json:"reclaimed_uj,omitempty"`
 	Died           bool    `json:"died"`
 	DiedAtMS       int64   `json:"died_at_ms,omitempty"`
 	Utilization    float64 `json:"utilization_pct"`
@@ -549,6 +616,7 @@ type deviceJSON struct {
 	FlowWalks      int64   `json:"flow_walks"`
 	SettledBatches int64   `json:"settled_batches"`
 	SettledSweeps  int64   `json:"settled_sweeps"`
+	SettledCharges int64   `json:"settled_charges,omitempty"`
 }
 
 // JSON renders the report as deterministic, worker-count-independent
@@ -578,6 +646,8 @@ func (r Report) marshalJSON(perDevice, canonical bool) ([]byte, error) {
 		MeanConsumedUJ:  int64(r.MeanConsumed),
 		MinConsumedUJ:   int64(r.MinConsumed),
 		MaxConsumedUJ:   int64(r.MaxConsumed),
+		RechargedUJ:     int64(r.TotalRecharged),
+		ReclaimedUJ:     int64(r.TotalReclaimed),
 		MeanUtilization: r.MeanUtilization,
 		Polls:           r.TotalPolls,
 		Activations:     r.TotalActivations,
@@ -591,6 +661,7 @@ func (r Report) marshalJSON(perDevice, canonical bool) ([]byte, error) {
 		out.FlowWalks = r.TotalFlowWalks
 		out.SettledBatches = r.TotalSettledBatches
 		out.SettledSweeps = r.TotalSettledSweeps
+		out.SettledCharges = r.TotalSettledCharges
 	}
 	for _, b := range r.Buckets {
 		bj := bucketJSON{
@@ -598,6 +669,8 @@ func (r Report) marshalJSON(perDevice, canonical bool) ([]byte, error) {
 			Devices:         b.Devices,
 			TotalConsumedUJ: int64(b.TotalConsumed),
 			MeanConsumedUJ:  int64(b.MeanConsumed),
+			RechargedUJ:     int64(b.Recharged),
+			ReclaimedUJ:     int64(b.Reclaimed),
 			MeanUtilization: b.MeanUtilization,
 			Polls:           b.Polls,
 			Pages:           b.Pages,
@@ -614,6 +687,7 @@ func (r Report) marshalJSON(perDevice, canonical bool) ([]byte, error) {
 			bj.MeanFlowWalks = b.MeanFlowWalks
 			bj.MeanSettled = b.MeanSettledBatches
 			bj.MeanSettledSweeps = b.MeanSettledSweeps
+			bj.MeanSettledCharges = b.MeanSettledCharges
 		}
 		out.Buckets = append(out.Buckets, bj)
 	}
@@ -635,6 +709,8 @@ func deviceWire(d DeviceResult, canonical bool) deviceJSON {
 		Scenario:      d.Scenario,
 		ConsumedUJ:    int64(d.Consumed),
 		BatteryLeftUJ: int64(d.BatteryLeft),
+		RechargedUJ:   int64(d.Recharged),
+		ReclaimedUJ:   int64(d.Reclaimed),
 		Died:          d.Died,
 		DiedAtMS:      int64(d.DiedAt),
 		Utilization:   d.Utilization,
@@ -650,6 +726,7 @@ func deviceWire(d DeviceResult, canonical bool) deviceJSON {
 		dj.FlowWalks = d.FlowWalks
 		dj.SettledBatches = d.SettledBatches
 		dj.SettledSweeps = d.SettledSweeps
+		dj.SettledCharges = d.SettledCharges
 	}
 	return dj
 }
@@ -963,8 +1040,20 @@ func buildDevice(cfg Config, idx int, rg *rig) (*Device, *DeviceResult, error) {
 		EngineMode:      mode,
 		Settle:          cfg.Settle,
 	}
-	if p, ok := cfg.Scenario.(Provisioner); ok && kcfg.BatteryCapacity == 0 {
-		kcfg.BatteryCapacity = p.Provision(idx, seed).BatteryCapacity
+	if p, ok := cfg.Scenario.(Provisioner); ok {
+		prov := p.Provision(idx, seed)
+		if prov.BatteryCapacity != 0 {
+			if cfg.BatteryCapacity != 0 {
+				return nil, nil, fmt.Errorf("fleet: scenario %q provisions per-device batteries; "+
+					"the fleet-level battery override (-battery-j / battery-j sweeps) contradicts it — drop one",
+					cfg.Scenario.Name())
+			}
+			kcfg.BatteryCapacity = prov.BatteryCapacity
+		}
+		if prov.Profile.Name != "" {
+			kcfg.Profile = prov.Profile
+		}
+		kcfg.StrictHoarding = prov.StrictHoarding
 	}
 	ncfg := netd.Config{Cooperative: true, QuiescentSweep: true, NoPoolTrace: true, Settle: cfg.NetdSettle}
 	if cfg.NoRecycle {
@@ -1004,15 +1093,16 @@ func buildDevice(cfg Config, idx int, rg *rig) (*Device, *DeviceResult, error) {
 		rand.state = uint64(seed)
 	}
 	*d = Device{
-		Index:    idx,
-		Seed:     seed,
-		Rand:     rand,
-		Kernel:   k,
-		Radio:    rg.r,
-		Netd:     rg.n,
-		Scenario: cfg.Scenario.Name(),
-		Probes:   probes,
-		Hooks:    hooks,
+		Index:         idx,
+		Seed:          seed,
+		Rand:          rand,
+		Kernel:        k,
+		Radio:         rg.r,
+		Netd:          rg.n,
+		Scenario:      cfg.Scenario.Name(),
+		ChargerSettle: cfg.ChargerSettle,
+		Probes:        probes,
+		Hooks:         hooks,
 	}
 	if err := cfg.Scenario.Build(d); err != nil {
 		return nil, nil, err
@@ -1062,6 +1152,11 @@ func extractResult(d *Device, res *DeviceResult) {
 	res.FlowWalks = k.Graph.FlowWalks()
 	res.SettledBatches = k.Graph.SettledBatches()
 	res.SettledSweeps = d.Netd.Stats().SettledSweeps
+	if c := k.Charger(); c != nil {
+		cs := c.Stats()
+		res.Recharged = cs.Recharged
+		res.SettledCharges = cs.SettledCharges
+	}
 	if d.Smdd != nil {
 		s := d.Smdd.Stats()
 		res.SMSSent = s.SMSSent
@@ -1078,43 +1173,49 @@ func extractResult(d *Device, res *DeviceResult) {
 // two aggregates is element-wise addition, so shard partials combine
 // into exactly the aggregate a single process builds.
 type aggregate struct {
-	seen          int
-	totalConsumed units.Energy
-	minConsumed   units.Energy
-	maxConsumed   units.Energy
-	busyTicks     int64
-	idleTicks     int64
-	polls         int64
-	activations   int64
-	powerUps      int64
-	engineSteps   uint64
-	flowWalks     int64
-	settled       int64
-	settledSweeps int64
-	dead          int
-	lives         sketch.Hist
+	seen           int
+	totalConsumed  units.Energy
+	minConsumed    units.Energy
+	maxConsumed    units.Energy
+	recharged      units.Energy
+	reclaimed      units.Energy
+	busyTicks      int64
+	idleTicks      int64
+	polls          int64
+	activations    int64
+	powerUps       int64
+	engineSteps    uint64
+	flowWalks      int64
+	settled        int64
+	settledSweeps  int64
+	settledCharges int64
+	dead           int
+	lives          sketch.Hist
 
 	byName map[string]*bucketAgg
 }
 
 // bucketAgg is one scenario bucket's mergeable aggregate.
 type bucketAgg struct {
-	devices       int
-	consumed      units.Energy
-	busyTicks     int64
-	idleTicks     int64
-	polls         int64
-	pages         int64
-	activations   int64
-	powerUps      int64
-	sms           int64
-	calls         int64
-	steps         uint64
-	flowWalks     int64
-	settled       int64
-	settledSweeps int64
-	dead          int
-	lives         sketch.Hist
+	devices        int
+	consumed       units.Energy
+	recharged      units.Energy
+	reclaimed      units.Energy
+	busyTicks      int64
+	idleTicks      int64
+	polls          int64
+	pages          int64
+	activations    int64
+	powerUps       int64
+	sms            int64
+	calls          int64
+	steps          uint64
+	flowWalks      int64
+	settled        int64
+	settledSweeps  int64
+	settledCharges int64
+	dead           int
+	lives          sketch.Hist
 }
 
 func newAggregate() *aggregate {
@@ -1130,6 +1231,8 @@ func (a *aggregate) add(r DeviceResult) {
 	if r.Consumed > a.maxConsumed {
 		a.maxConsumed = r.Consumed
 	}
+	a.recharged += r.Recharged
+	a.reclaimed += r.Reclaimed
 	a.busyTicks += r.BusyTicks
 	a.idleTicks += r.IdleTicks
 	a.polls += r.Polls
@@ -1139,6 +1242,7 @@ func (a *aggregate) add(r DeviceResult) {
 	a.flowWalks += r.FlowWalks
 	a.settled += r.SettledBatches
 	a.settledSweeps += r.SettledSweeps
+	a.settledCharges += r.SettledCharges
 	if r.Died {
 		a.dead++
 		a.lives.Add(int64(r.DiedAt))
@@ -1152,6 +1256,8 @@ func (a *aggregate) add(r DeviceResult) {
 	}
 	b.devices++
 	b.consumed += r.Consumed
+	b.recharged += r.Recharged
+	b.reclaimed += r.Reclaimed
 	b.busyTicks += r.BusyTicks
 	b.idleTicks += r.IdleTicks
 	b.polls += r.Polls
@@ -1164,6 +1270,7 @@ func (a *aggregate) add(r DeviceResult) {
 	b.flowWalks += r.FlowWalks
 	b.settled += r.SettledBatches
 	b.settledSweeps += r.SettledSweeps
+	b.settledCharges += r.SettledCharges
 	if r.Died {
 		b.dead++
 		b.lives.Add(int64(r.DiedAt))
@@ -1184,6 +1291,8 @@ func (a *aggregate) merge(o *aggregate) {
 	}
 	a.seen += o.seen
 	a.totalConsumed += o.totalConsumed
+	a.recharged += o.recharged
+	a.reclaimed += o.reclaimed
 	a.busyTicks += o.busyTicks
 	a.idleTicks += o.idleTicks
 	a.polls += o.polls
@@ -1193,6 +1302,7 @@ func (a *aggregate) merge(o *aggregate) {
 	a.flowWalks += o.flowWalks
 	a.settled += o.settled
 	a.settledSweeps += o.settledSweeps
+	a.settledCharges += o.settledCharges
 	a.dead += o.dead
 	a.lives.Merge(&o.lives)
 	for name, ob := range o.byName {
@@ -1203,6 +1313,8 @@ func (a *aggregate) merge(o *aggregate) {
 		}
 		b.devices += ob.devices
 		b.consumed += ob.consumed
+		b.recharged += ob.recharged
+		b.reclaimed += ob.reclaimed
 		b.busyTicks += ob.busyTicks
 		b.idleTicks += ob.idleTicks
 		b.polls += ob.polls
@@ -1215,6 +1327,7 @@ func (a *aggregate) merge(o *aggregate) {
 		b.flowWalks += ob.flowWalks
 		b.settled += ob.settled
 		b.settledSweeps += ob.settledSweeps
+		b.settledCharges += ob.settledCharges
 		b.dead += ob.dead
 		b.lives.Merge(&ob.lives)
 	}
@@ -1240,6 +1353,8 @@ func (a *aggregate) finish(cfg Config, workers int) Report {
 		TotalConsumed:       a.totalConsumed,
 		MinConsumed:         a.minConsumed,
 		MaxConsumed:         a.maxConsumed,
+		TotalRecharged:      a.recharged,
+		TotalReclaimed:      a.reclaimed,
 		MeanUtilization:     utilizationPct(a.busyTicks, a.idleTicks),
 		TotalPolls:          a.polls,
 		TotalActivations:    a.activations,
@@ -1249,6 +1364,7 @@ func (a *aggregate) finish(cfg Config, workers int) Report {
 		TotalFlowWalks:      a.flowWalks,
 		TotalSettledBatches: a.settled,
 		TotalSettledSweeps:  a.settledSweeps,
+		TotalSettledCharges: a.settledCharges,
 	}
 	rep.MeanConsumed = rep.TotalConsumed / units.Energy(rep.Devices)
 	if a.dead > 0 {
@@ -1268,6 +1384,8 @@ func (a *aggregate) finish(cfg Config, workers int) Report {
 			Devices:            b.devices,
 			TotalConsumed:      b.consumed,
 			MeanConsumed:       b.consumed / units.Energy(b.devices),
+			Recharged:          b.recharged,
+			Reclaimed:          b.reclaimed,
 			MeanUtilization:    utilizationPct(b.busyTicks, b.idleTicks),
 			Polls:              b.polls,
 			Pages:              b.pages,
@@ -1279,6 +1397,7 @@ func (a *aggregate) finish(cfg Config, workers int) Report {
 			MeanFlowWalks:      b.flowWalks / int64(b.devices),
 			MeanSettledBatches: b.settled / int64(b.devices),
 			MeanSettledSweeps:  b.settledSweeps / int64(b.devices),
+			MeanSettledCharges: b.settledCharges / int64(b.devices),
 			Dead:               b.dead,
 		}
 		if b.dead > 0 {

@@ -48,10 +48,11 @@ type Job struct {
 	// EngineMode/SettleMode/NetdSettleMode/DenseWatch pin the engine
 	// configuration, so every runner of a job simulates identically (the
 	// same fields Partial records and Merge verifies).
-	EngineMode     uint8 `json:"engine_mode,omitempty"`
-	SettleMode     uint8 `json:"settle_mode,omitempty"`
-	NetdSettleMode uint8 `json:"netd_settle_mode,omitempty"`
-	DenseWatch     bool  `json:"dense_watch,omitempty"`
+	EngineMode        uint8 `json:"engine_mode,omitempty"`
+	SettleMode        uint8 `json:"settle_mode,omitempty"`
+	NetdSettleMode    uint8 `json:"netd_settle_mode,omitempty"`
+	ChargerSettleMode uint8 `json:"charger_settle_mode,omitempty"`
+	DenseWatch        bool  `json:"dense_watch,omitempty"`
 
 	// CheckpointDir, when set, makes every ShardRun interruptible: epoch
 	// files land there (per-shard names), and a reassigned shard resumes
@@ -88,6 +89,7 @@ func NewJob(cfg Config, shards int) (Job, error) {
 		EngineMode:        uint8(mode),
 		SettleMode:        uint8(cfg.Settle),
 		NetdSettleMode:    uint8(cfg.NetdSettle),
+		ChargerSettleMode: uint8(cfg.ChargerSettle),
 		DenseWatch:        cfg.DenseWatch,
 		CheckpointDir:     cfg.CheckpointDir,
 		CheckpointEveryMS: int64(cfg.CheckpointEvery),
@@ -171,6 +173,7 @@ func (j Job) ShardConfig(shard int) (Config, error) {
 		EngineMode:      sim.Mode(j.EngineMode),
 		Settle:          kernel.SettleMode(j.SettleMode),
 		NetdSettle:      kernel.SettleMode(j.NetdSettleMode),
+		ChargerSettle:   kernel.SettleMode(j.ChargerSettleMode),
 		DenseWatch:      j.DenseWatch,
 		ShardIndex:      shard,
 		ShardCount:      j.Shards,

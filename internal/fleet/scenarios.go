@@ -119,10 +119,12 @@ func (s SpinnerScenario) Build(d *Device) error {
 // choices).
 func Scenarios() map[string]Scenario {
 	return map[string]Scenario{
-		"poller":        PollerScenario{},
-		"idle":          IdleScenario{},
-		"spinner":       SpinnerScenario{},
-		"dayinthelife":  DayInTheLife(),
-		"weekinthelife": WeekInTheLife(),
+		"poller":         PollerScenario{},
+		"idle":           IdleScenario{},
+		"spinner":        SpinnerScenario{},
+		"dayinthelife":   DayInTheLife(),
+		"weekinthelife":  WeekInTheLife(),
+		"monthinthelife": MonthInTheLife(),
+		"adversarial":    AdversarialCohorts(),
 	}
 }

@@ -31,16 +31,17 @@ type Partial struct {
 	Version int    `json:"version"`
 
 	// Identity: every shard of a run must agree on these exactly.
-	Scenario         string `json:"scenario"`
-	Devices          int    `json:"devices"`
-	Seed             int64  `json:"seed"`
-	DurationMS       int64  `json:"duration_ms"`
-	BatteryUJ        int64  `json:"battery_uj"`
-	EngineMode       uint8  `json:"engine_mode"`
-	SettleMode       uint8  `json:"settle_mode"`
-	NetdSettleMode   uint8  `json:"netd_settle_mode"`
-	LifeResolutionMS int64  `json:"life_resolution_ms"`
-	DenseWatch       bool   `json:"dense_watch,omitempty"`
+	Scenario          string `json:"scenario"`
+	Devices           int    `json:"devices"`
+	Seed              int64  `json:"seed"`
+	DurationMS        int64  `json:"duration_ms"`
+	BatteryUJ         int64  `json:"battery_uj"`
+	EngineMode        uint8  `json:"engine_mode"`
+	SettleMode        uint8  `json:"settle_mode"`
+	NetdSettleMode    uint8  `json:"netd_settle_mode"`
+	ChargerSettleMode uint8  `json:"charger_settle_mode,omitempty"`
+	LifeResolutionMS  int64  `json:"life_resolution_ms"`
+	DenseWatch        bool   `json:"dense_watch,omitempty"`
 
 	ShardIndex int `json:"shard_index"`
 	ShardCount int `json:"shard_count"`
@@ -66,6 +67,9 @@ type partialAgg struct {
 	FlowWalks       int64      `json:"flow_walks"`
 	SettledBatches  int64      `json:"settled_batches"`
 	SettledSweeps   int64      `json:"settled_sweeps"`
+	SettledCharges  int64      `json:"settled_charges,omitempty"`
+	RechargedUJ     int64      `json:"recharged_uj,omitempty"`
+	ReclaimedUJ     int64      `json:"reclaimed_uj,omitempty"`
 	Dead            int        `json:"dead"`
 	Lives           [][2]int64 `json:"lives,omitempty"`
 }
@@ -87,6 +91,9 @@ type partialBucket struct {
 	FlowWalks       int64      `json:"flow_walks"`
 	SettledBatches  int64      `json:"settled_batches"`
 	SettledSweeps   int64      `json:"settled_sweeps"`
+	SettledCharges  int64      `json:"settled_charges,omitempty"`
+	RechargedUJ     int64      `json:"recharged_uj,omitempty"`
+	ReclaimedUJ     int64      `json:"reclaimed_uj,omitempty"`
 	Dead            int        `json:"dead"`
 	Lives           [][2]int64 `json:"lives,omitempty"`
 }
@@ -118,22 +125,23 @@ func packPartial(cfg Config, a *aggregate) *Partial {
 		mode = sim.DefaultMode()
 	}
 	p := &Partial{
-		Format:           "cinder-fleet-partial",
-		Version:          PartialVersion,
-		Scenario:         cfg.Scenario.Name(),
-		Devices:          cfg.Devices,
-		Seed:             cfg.Seed,
-		DurationMS:       int64(cfg.Duration),
-		BatteryUJ:        int64(cfg.BatteryCapacity),
-		EngineMode:       uint8(mode),
-		SettleMode:       uint8(cfg.Settle),
-		NetdSettleMode:   uint8(cfg.NetdSettle),
-		LifeResolutionMS: int64(cfg.LifeResolution),
-		DenseWatch:       cfg.DenseWatch,
-		ShardIndex:       cfg.ShardIndex,
-		ShardCount:       cfg.ShardCount,
-		RangeLo:          lo,
-		RangeHi:          hi,
+		Format:            "cinder-fleet-partial",
+		Version:           PartialVersion,
+		Scenario:          cfg.Scenario.Name(),
+		Devices:           cfg.Devices,
+		Seed:              cfg.Seed,
+		DurationMS:        int64(cfg.Duration),
+		BatteryUJ:         int64(cfg.BatteryCapacity),
+		EngineMode:        uint8(mode),
+		SettleMode:        uint8(cfg.Settle),
+		NetdSettleMode:    uint8(cfg.NetdSettle),
+		ChargerSettleMode: uint8(cfg.ChargerSettle),
+		LifeResolutionMS:  int64(cfg.LifeResolution),
+		DenseWatch:        cfg.DenseWatch,
+		ShardIndex:        cfg.ShardIndex,
+		ShardCount:        cfg.ShardCount,
+		RangeLo:           lo,
+		RangeHi:           hi,
 		Agg: partialAgg{
 			Seen:            a.seen,
 			TotalConsumedUJ: int64(a.totalConsumed),
@@ -148,6 +156,9 @@ func packPartial(cfg Config, a *aggregate) *Partial {
 			FlowWalks:       a.flowWalks,
 			SettledBatches:  a.settled,
 			SettledSweeps:   a.settledSweeps,
+			SettledCharges:  a.settledCharges,
+			RechargedUJ:     int64(a.recharged),
+			ReclaimedUJ:     int64(a.reclaimed),
 			Dead:            a.dead,
 			Lives:           sparseLives(&a.lives),
 		},
@@ -175,6 +186,9 @@ func packPartial(cfg Config, a *aggregate) *Partial {
 			FlowWalks:       b.flowWalks,
 			SettledBatches:  b.settled,
 			SettledSweeps:   b.settledSweeps,
+			SettledCharges:  b.settledCharges,
+			RechargedUJ:     int64(b.recharged),
+			ReclaimedUJ:     int64(b.reclaimed),
 			Dead:            b.dead,
 			Lives:           sparseLives(&b.lives),
 		})
@@ -227,27 +241,33 @@ func (p *Partial) unpack() *aggregate {
 	a.flowWalks = p.Agg.FlowWalks
 	a.settled = p.Agg.SettledBatches
 	a.settledSweeps = p.Agg.SettledSweeps
+	a.settledCharges = p.Agg.SettledCharges
+	a.recharged = units.Energy(p.Agg.RechargedUJ)
+	a.reclaimed = units.Energy(p.Agg.ReclaimedUJ)
 	a.dead = p.Agg.Dead
 	for _, pair := range p.Agg.Lives {
 		a.lives.AddBucket(int(pair[0]), uint64(pair[1]))
 	}
 	for _, pb := range p.Buckets {
 		b := &bucketAgg{
-			devices:       pb.Devices,
-			consumed:      units.Energy(pb.TotalConsumedUJ),
-			busyTicks:     pb.BusyTicks,
-			idleTicks:     pb.IdleTicks,
-			polls:         pb.Polls,
-			pages:         pb.Pages,
-			activations:   pb.Activations,
-			powerUps:      pb.PowerUps,
-			sms:           pb.SMSSent,
-			calls:         pb.Calls,
-			steps:         pb.EngineSteps,
-			flowWalks:     pb.FlowWalks,
-			settled:       pb.SettledBatches,
-			settledSweeps: pb.SettledSweeps,
-			dead:          pb.Dead,
+			devices:        pb.Devices,
+			consumed:       units.Energy(pb.TotalConsumedUJ),
+			busyTicks:      pb.BusyTicks,
+			idleTicks:      pb.IdleTicks,
+			polls:          pb.Polls,
+			pages:          pb.Pages,
+			activations:    pb.Activations,
+			powerUps:       pb.PowerUps,
+			sms:            pb.SMSSent,
+			calls:          pb.Calls,
+			steps:          pb.EngineSteps,
+			flowWalks:      pb.FlowWalks,
+			settled:        pb.SettledBatches,
+			settledSweeps:  pb.SettledSweeps,
+			settledCharges: pb.SettledCharges,
+			recharged:      units.Energy(pb.RechargedUJ),
+			reclaimed:      units.Energy(pb.ReclaimedUJ),
+			dead:           pb.Dead,
 		}
 		for _, pair := range pb.Lives {
 			b.lives.AddBucket(int(pair[0]), uint64(pair[1]))
@@ -287,6 +307,7 @@ func Merge(parts []*Partial, scenario Scenario) (Report, error) {
 			p.DurationMS != ref.DurationMS || p.BatteryUJ != ref.BatteryUJ ||
 			p.EngineMode != ref.EngineMode || p.SettleMode != ref.SettleMode ||
 			p.NetdSettleMode != ref.NetdSettleMode ||
+			p.ChargerSettleMode != ref.ChargerSettleMode ||
 			p.LifeResolutionMS != ref.LifeResolutionMS || p.DenseWatch != ref.DenseWatch ||
 			p.ShardCount != ref.ShardCount:
 			return Report{}, fmt.Errorf("fleet: partial %d/%d does not match partial %d/%d: "+

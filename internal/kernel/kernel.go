@@ -188,9 +188,14 @@ type Kernel struct {
 	// so settleBatches can hand SettleFlows its interleave callback
 	// without allocating a closure per settlement window.
 	billBaselineFn func(int64)
-	// settlers are the registered SweepSettlers (netd), synchronized at
-	// every executed instant and invalidated from the activity hooks.
+	// settlers are the registered SweepSettlers (netd, the battery
+	// charger), synchronized at every executed instant and invalidated
+	// from the activity hooks.
 	settlers []SweepSettler
+	// charger is the optional battery charger (AttachCharger); nil on
+	// discharge-only kernels, which is every kernel the frozen
+	// experiments build.
+	charger *BatteryCharger
 	// skipTaps is scratch for the throttled-quantum skip's inflow scan,
 	// keeping the busy-path prediction allocation-free.
 	skipTaps []*core.Tap
@@ -349,6 +354,7 @@ func (k *Kernel) init(cfg Config, recycle bool) {
 	k.billBaselineFn = k.billBaselineBatches
 	clear(k.settlers)
 	k.settlers = k.settlers[:0]
+	k.charger = nil
 
 	batteryLabel := label.Public().With(k.sysCategory, label.Level2)
 	graphCfg := core.Config{

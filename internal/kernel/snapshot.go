@@ -43,6 +43,14 @@ func (k *Kernel) Snapshot(w *snap.Writer) {
 	k.Graph.Snapshot(w)
 	k.Sched.Snapshot(w)
 	k.Eng.Snapshot(w)
+	// The charger section rides after the engine: its Restore touches
+	// only scalars, never task schedules. Presence is structural — a
+	// rebuilt kernel attaches a charger iff the snapshotted one did,
+	// because both run the same deterministic construction path.
+	w.Bool(k.charger != nil)
+	if k.charger != nil {
+		k.charger.Snapshot(w)
+	}
 }
 
 // Restore overlays a snapshot onto a freshly rebuilt kernel (same
@@ -88,6 +96,20 @@ func (k *Kernel) Restore(r *snap.Reader) error {
 	}
 	if err := k.Eng.Restore(r); err != nil {
 		return err
+	}
+	hasCharger := r.Bool()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if hasCharger != (k.charger != nil) {
+		return fmt.Errorf("kernel: restore: snapshot charger presence %v, rebuilt kernel %v "+
+			"(the scenario's construction path must attach the charger before restoring)",
+			hasCharger, k.charger != nil)
+	}
+	if hasCharger {
+		if err := k.charger.Restore(r); err != nil {
+			return err
+		}
 	}
 	k.baseCarry = baseCarry
 	k.backlight = backlight

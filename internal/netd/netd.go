@@ -238,6 +238,17 @@ func (n *Netd) Reset(k *kernel.Kernel, r *radio.Radio, cfg Config) error {
 	return nil
 }
 
+// SetEstimator installs an online activation-cost estimator after
+// construction (Config.Estimator set late). The fleet builds netd
+// before the scenario runs, but the estimator needs the device's radio
+// — so scenarios wire it from Build, before the simulation starts.
+// Settlement stays exact: the estimate only changes when a radio
+// episode ends, and no pool-crossing deferral is in force while the
+// radio is awake (settleGuard requires Sleep; a wake-up invalidates).
+func (n *Netd) SetEstimator(est interface{ Estimate() units.Energy }) {
+	n.cfg.Estimator = est
+}
+
 // Pool returns netd's pooled reserve (observable by anyone; Fig. 14
 // samples it).
 func (n *Netd) Pool() *core.Reserve { return n.pool }
