@@ -11,11 +11,23 @@
 //	    -scenario weekinthelife -devices 10000 -duration 168h \
 //	    -shards 16 -checkpoint-dir /shared/ckpt -wait -o report.json
 //	cinder-coord status -coord http://127.0.0.1:9090
+//	cinder-coord result -coord http://127.0.0.1:9090 -o report.json
+//
+// A job submitted with -checkpoint-dir is journaled there: if the
+// coordinator dies mid-job (kill -9 included), restart it with
+//
+//	cinder-coord serve -listen 127.0.0.1:9090 -recover /shared/ckpt
+//
+// and it replays the journal, resumes the job with identical
+// lease/attempt state, and the runners reattach through their retry
+// backoff — the merged report stays byte-identical to an
+// uninterrupted run.
 //
 // Runners attach with: cinder-fleet -runner http://127.0.0.1:9090
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,7 +48,7 @@ func main() {
 
 func realMain() int {
 	if len(os.Args) < 2 {
-		return fail(fmt.Errorf("usage: cinder-coord serve|submit|status [flags]"))
+		return fail(fmt.Errorf("usage: cinder-coord serve|submit|status|result [flags]"))
 	}
 	var err error
 	switch cmd := os.Args[1]; cmd {
@@ -46,8 +58,10 @@ func realMain() int {
 		err = runSubmit(os.Args[2:])
 	case "status":
 		err = runStatus(os.Args[2:])
+	case "result":
+		err = runResult(os.Args[2:])
 	default:
-		err = fmt.Errorf("unknown command %q (want serve, submit or status)", cmd)
+		err = fmt.Errorf("unknown command %q (want serve, submit, status or result)", cmd)
 	}
 	if err != nil {
 		return fail(err)
@@ -66,16 +80,27 @@ func runServe(args []string) error {
 		heartbeat   = fs.Duration("heartbeat", time.Second, "beat cadence handed to runners")
 		lease       = fs.Duration("lease", 0, "lease length before a silent runner forfeits its shard (0 = 4× heartbeat)")
 		maxAttempts = fs.Int("max-attempts", 3, "leases per shard before the job fails terminally")
+		recoverDir  = fs.String("recover", "", "replay the coordinator journal in this checkpoint dir and resume serving its job")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	co := coord.New(coord.Options{
+	opts := coord.Options{
 		Heartbeat:   *heartbeat,
 		Lease:       *lease,
 		MaxAttempts: *maxAttempts,
 		Logf:        logf,
-	})
+	}
+	var co *coord.Coordinator
+	if *recoverDir != "" {
+		var err error
+		co, err = coord.Recover(opts, *recoverDir)
+		if err != nil {
+			return err
+		}
+	} else {
+		co = coord.New(opts)
+	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
@@ -141,9 +166,12 @@ func runSubmit(args []string) error {
 	if err != nil {
 		return err
 	}
+	ctx := context.Background()
 	conn := delivery.DialHTTP(*coordURL)
 	defer conn.Close()
-	if err := conn.Submit(job); err != nil {
+	if err := delivery.Retry(ctx, delivery.Backoff{MaxAttempts: 5}, func(ctx context.Context) error {
+		return conn.Submit(ctx, job)
+	}); err != nil {
 		return err
 	}
 	logf("submitted: %s, %d devices × %v, %d shards",
@@ -151,9 +179,12 @@ func runSubmit(args []string) error {
 	if !*wait {
 		return nil
 	}
+	// The poll loop deliberately never gives up on a transport error: a
+	// coordinator restarting under -recover looks exactly like a long
+	// hiccup, and the submitted job survives it.
 	for {
 		time.Sleep(*every)
-		st, err := conn.Status()
+		st, err := conn.Status(ctx)
 		if err != nil {
 			logf("status poll failed (retrying): %v", err)
 			continue
@@ -166,8 +197,12 @@ func runSubmit(args []string) error {
 			break
 		}
 	}
-	b, err := conn.Result(*canonical)
-	if err != nil {
+	var b []byte
+	if err := delivery.Retry(ctx, delivery.Backoff{}, func(ctx context.Context) error {
+		var e error
+		b, e = conn.Result(ctx, *canonical)
+		return e
+	}); err != nil {
 		return err
 	}
 	b = append(b, '\n')
@@ -227,7 +262,7 @@ func runStatus(args []string) error {
 	}
 	conn := delivery.DialHTTP(*coordURL)
 	defer conn.Close()
-	st, err := conn.Status()
+	st, err := conn.Status(context.Background())
 	if err != nil {
 		return err
 	}
@@ -237,6 +272,33 @@ func runStatus(args []string) error {
 	}
 	fmt.Printf("%s\n", b)
 	return nil
+}
+
+// runResult fetches a finished job's merged report — the post-hoc
+// companion to submit -wait, for when the submitter died or the report
+// is wanted again (say, after a coordinator recovery).
+func runResult(args []string) error {
+	fs := flag.NewFlagSet("result", flag.ContinueOnError)
+	var (
+		coordURL  = fs.String("coord", "http://127.0.0.1:9090", "coordinator base URL")
+		canonical = fs.Bool("canonical", false, "fetch the canonical report (engine diagnostics zeroed)")
+		outPath   = fs.String("o", "", "write the report to this file instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	conn := delivery.DialHTTP(*coordURL)
+	defer conn.Close()
+	b, err := conn.Result(context.Background(), *canonical)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if *outPath == "" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(*outPath, b, 0o644)
 }
 
 func fail(err error) int {

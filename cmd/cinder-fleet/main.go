@@ -145,6 +145,7 @@ func realMain() int {
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: units.Time(ckptEvery.Milliseconds()),
 		Resume:          *resume,
+		Warnf:           logf,
 	}
 	if *batteryJ > 0 {
 		cfg.BatteryCapacity = units.Joules(*batteryJ)

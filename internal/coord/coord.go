@@ -10,11 +10,20 @@
 // — losing a runner costs at most one checkpoint interval of
 // re-simulation, and because resumed shard partials are byte-identical
 // to uninterrupted ones, the merged report is too.
+//
+// The coordinator itself is crash-safe when the job carries a
+// checkpoint dir: every accepted transition is journaled there
+// (write-ahead, see journal.go) and Recover replays the journal into
+// an identical coordinator, so a kill -9 mid-job costs a restart plus
+// the runners' retry backoff, never the job.
 package coord
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
@@ -66,6 +75,14 @@ type shardState struct {
 	// assignment asks the runner to continue from epoch checkpoints.
 	resume bool
 
+	// completedBy / failedBy+failedAt deduplicate retried deliveries: a
+	// runner whose Complete or Fail acknowledgement was lost re-sends
+	// the identical message, and the duplicate must succeed silently
+	// instead of surfacing ErrLeaseLost.
+	completedBy string
+	failedBy    string
+	failedAt    int
+
 	devicesDone    int
 	simDoneMS      int64
 	lastCheckpoint int
@@ -82,6 +99,8 @@ type Coordinator struct {
 
 	mu       sync.Mutex
 	job      *fleet.Job
+	jobJSON  []byte // the installed job's wire form (Submit idempotency key)
+	jnl      *journal
 	start    time.Time
 	shards   []shardState
 	remain   int // shards not yet done
@@ -102,8 +121,28 @@ func (c *Coordinator) logf(format string, args ...any) {
 	}
 }
 
-// Submit installs the job. A coordinator runs exactly one job; a
-// second Submit is an error.
+// installJob seeds the shard table for job. Caller holds c.mu.
+func (c *Coordinator) installJob(job fleet.Job) {
+	c.job = &job
+	c.jobJSON, _ = json.Marshal(job)
+	c.start = c.opts.Now()
+	c.shards = make([]shardState, job.Shards)
+	c.remain = job.Shards
+	for i := range c.shards {
+		lo, hi := job.ShardRange(i)
+		c.shards[i] = shardState{lo: lo, hi: hi, state: "pending", lastCheckpoint: -1, failedAt: -1}
+	}
+	c.logf("coord: job submitted: %s, %d devices × %v, %d shards",
+		job.Scenario, job.Devices, time.Duration(job.DurationMS)*time.Millisecond, job.Shards)
+}
+
+// Submit installs the job. A coordinator runs exactly one job;
+// re-submitting the identical job is an idempotent success (a
+// retrying submitter whose acknowledgement was lost must not error),
+// while a different job is rejected. When the job carries a checkpoint
+// dir, the journal is created there first — a journal from a finished
+// previous job is discarded, an unfinished one refuses the Submit and
+// points at `serve -recover`.
 func (c *Coordinator) Submit(job fleet.Job) error {
 	if err := job.Validate(); err != nil {
 		return err
@@ -111,19 +150,63 @@ func (c *Coordinator) Submit(job fleet.Job) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.job != nil {
-		return fmt.Errorf("coord: a job is already submitted")
+		if b, err := json.Marshal(job); err == nil && bytes.Equal(b, c.jobJSON) {
+			return nil
+		}
+		return fmt.Errorf("coord: a different job is already submitted")
 	}
-	c.job = &job
-	c.start = c.opts.Now()
-	c.shards = make([]shardState, job.Shards)
-	c.remain = job.Shards
-	for i := range c.shards {
-		lo, hi := job.ShardRange(i)
-		c.shards[i] = shardState{lo: lo, hi: hi, state: "pending", lastCheckpoint: -1}
+	if job.CheckpointDir != "" {
+		if err := os.MkdirAll(job.CheckpointDir, 0o755); err != nil {
+			return fmt.Errorf("coord: checkpoint dir: %w", err)
+		}
+		path := JournalPath(job.CheckpointDir)
+		if _, err := os.Stat(path); err == nil {
+			finished, ferr := journalFinished(c.opts, path)
+			if ferr != nil {
+				return ferr
+			}
+			if !finished {
+				return fmt.Errorf("coord: %s holds an unfinished job; restart with 'serve -recover %s' to resume it, or remove the journal to abandon it",
+					path, job.CheckpointDir)
+			}
+			if err := os.Remove(path); err != nil {
+				return fmt.Errorf("coord: discard finished journal: %w", err)
+			}
+		}
+		jobJSON, err := json.Marshal(job)
+		if err != nil {
+			return fmt.Errorf("coord: marshal job: %w", err)
+		}
+		jnl, err := createJournal(path)
+		if err != nil {
+			return err
+		}
+		if err := jnl.append(jrec{kind: jrSubmit, job: jobJSON}, true); err != nil {
+			jnl.close()
+			return err
+		}
+		c.jnl = jnl
 	}
-	c.logf("coord: job submitted: %s, %d devices × %v, %d shards",
-		job.Scenario, job.Devices, time.Duration(job.DurationMS)*time.Millisecond, job.Shards)
+	c.installJob(job)
 	return nil
+}
+
+// journalFinished replays the journal at path on a scratch coordinator
+// and reports whether its job ended (done or terminally failed). An
+// unreadable journal is reported as unfinished-and-unremovable via the
+// returned error.
+func journalFinished(opts Options, path string) (bool, error) {
+	recs, _, terr := readJournal(path)
+	if len(recs) == 0 {
+		return false, fmt.Errorf("coord: existing journal %s is unreadable (%v); remove it to start over", path, terr)
+	}
+	probe := opts
+	probe.Logf = nil
+	c, err := replayState(probe, recs)
+	if err != nil {
+		return false, fmt.Errorf("coord: existing journal %s does not replay (%v); remove it to start over", path, err)
+	}
+	return c.finished || c.failed != nil, nil
 }
 
 // fail ends the job terminally. Caller holds c.mu.
@@ -137,7 +220,9 @@ func (c *Coordinator) fail(err error) {
 }
 
 // expire forfeits leases whose runners stopped heartbeating. Caller
-// holds c.mu.
+// holds c.mu. Expiries are not journaled: replay re-derives them from
+// the recovered clock, giving every recovered lease one fresh lease
+// interval to re-heartbeat before it is forfeited.
 func (c *Coordinator) expire(now time.Time) {
 	if c.job == nil || c.finished || c.failed != nil {
 		return
@@ -157,6 +242,68 @@ func (c *Coordinator) expire(now time.Time) {
 	}
 }
 
+// applyGrant leases shard to runner. attempt is the 0-based lease key
+// (the shard's attempt count before this grant). Caller holds c.mu.
+func (c *Coordinator) applyGrant(shard int, runner string, attempt int, resume bool, now time.Time) {
+	s := &c.shards[shard]
+	s.state, s.runner, s.resume = "running", runner, resume
+	s.attempt = attempt + 1
+	s.expiry = now.Add(c.opts.Lease)
+	c.logf("coord: shard %d [%d,%d) leased to %s (attempt %d, resume %v)",
+		shard, s.lo, s.hi, runner, s.attempt, s.resume)
+}
+
+// applyBeat records shard progress and renews the lease. Caller holds
+// c.mu.
+func (c *Coordinator) applyBeat(beat delivery.Beat, now time.Time) {
+	s := &c.shards[beat.Shard]
+	s.expiry = now.Add(c.opts.Lease)
+	s.devicesDone = beat.DevicesDone
+	s.simDoneMS = beat.SimDoneMS
+	s.lastCheckpoint = beat.LastCheckpoint
+}
+
+// applyComplete marks shard done with p and merges the report when it
+// was the last one. Caller holds c.mu.
+func (c *Coordinator) applyComplete(shard int, runner string, p *fleet.Partial) {
+	s := &c.shards[shard]
+	s.state, s.runner, s.partial = "done", "", p
+	s.completedBy = runner
+	s.devicesDone = s.hi - s.lo
+	s.simDoneMS = int64(units.Time(s.hi-s.lo) * c.job.Horizon())
+	c.remain--
+	c.logf("coord: shard %d completed by %s (%d shards left)", shard, runner, c.remain)
+	if c.remain > 0 {
+		return
+	}
+	parts := make([]*fleet.Partial, len(c.shards))
+	for i := range c.shards {
+		parts[i] = c.shards[i].partial
+	}
+	rep, err := c.job.Merge(parts)
+	if err != nil {
+		c.fail(err)
+		return
+	}
+	c.report, c.finished = rep, true
+	c.logf("coord: job done, report merged")
+	close(c.doneCh)
+}
+
+// applyFail charges a failed attempt against shard and requeues it (or
+// fails the job terminally). Caller holds c.mu.
+func (c *Coordinator) applyFail(shard int, runner string, attempt int, msg string) {
+	s := &c.shards[shard]
+	s.failedBy, s.failedAt = runner, attempt
+	c.logf("coord: shard %d attempt %d failed on %s: %s", shard, s.attempt, runner, msg)
+	if s.attempt >= c.opts.MaxAttempts {
+		c.fail(fmt.Errorf("coord: shard %d failed %d times, last error from %s: %s",
+			shard, s.attempt, runner, msg))
+		return
+	}
+	s.state, s.runner, s.resume = "pending", "", true
+}
+
 // Claim leases the next pending shard to the named runner.
 func (c *Coordinator) Claim(runner string) (delivery.Task, error) {
 	c.mu.Lock()
@@ -174,11 +321,13 @@ func (c *Coordinator) Claim(runner string) (delivery.Task, error) {
 		if s.state != "pending" {
 			continue
 		}
-		s.state, s.runner = "running", runner
-		s.expiry = now.Add(c.opts.Lease)
-		s.attempt++
-		c.logf("coord: shard %d [%d,%d) leased to %s (attempt %d, resume %v)",
-			i, s.lo, s.hi, runner, s.attempt, s.resume)
+		if c.jnl != nil {
+			rec := jrec{kind: jrGrant, shard: i, runner: runner, attempt: s.attempt, resume: s.resume}
+			if err := c.jnl.append(rec, true); err != nil {
+				return delivery.Task{}, err
+			}
+		}
+		c.applyGrant(i, runner, s.attempt, s.resume, now)
 		return delivery.Task{
 			Job:         *c.job,
 			Shard:       i,
@@ -207,10 +356,16 @@ func (c *Coordinator) Heartbeat(runner string, beat delivery.Beat) error {
 	if s.state != "running" || s.runner != runner {
 		return delivery.ErrLeaseLost
 	}
-	s.expiry = now.Add(c.opts.Lease)
-	s.devicesDone = beat.DevicesDone
-	s.simDoneMS = beat.SimDoneMS
-	s.lastCheckpoint = beat.LastCheckpoint
+	if c.jnl != nil {
+		rec := jrec{kind: jrBeat, shard: beat.Shard, devicesDone: beat.DevicesDone,
+			simDoneMS: beat.SimDoneMS, lastCheckpoint: beat.LastCheckpoint}
+		// Beats are appended without fsync: losing the tail costs a stale
+		// progress counter after recovery, never correctness.
+		if err := c.jnl.append(rec, false); err != nil {
+			return err
+		}
+	}
+	c.applyBeat(beat, now)
 	return nil
 }
 
@@ -218,7 +373,8 @@ func (c *Coordinator) Heartbeat(runner string, beat delivery.Beat) error {
 // completion wins: a runner whose lease was forfeited but which
 // finished anyway delivers an identical partial (resumed shard runs
 // are byte-identical), so its late result is accepted as long as the
-// shard is still open.
+// shard is still open. A retried duplicate from the completing runner
+// is an idempotent success.
 func (c *Coordinator) Complete(runner string, shard int, p *fleet.Partial) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -230,39 +386,34 @@ func (c *Coordinator) Complete(runner string, shard int, p *fleet.Partial) error
 	}
 	s := &c.shards[shard]
 	if s.state == "done" {
+		if runner != "" && s.completedBy == runner {
+			return nil
+		}
 		return delivery.ErrLeaseLost
 	}
 	if p == nil || p.ShardIndex != shard || p.ShardCount != c.job.Shards ||
 		p.RangeLo != s.lo || p.RangeHi != s.hi {
 		return fmt.Errorf("coord: partial does not describe shard %d of this job", shard)
 	}
-	s.state, s.runner, s.partial = "done", "", p
-	s.devicesDone = s.hi - s.lo
-	s.simDoneMS = int64(units.Time(s.hi-s.lo) * c.job.Horizon())
-	c.remain--
-	c.logf("coord: shard %d completed by %s (%d shards left)", shard, runner, c.remain)
-	if c.remain > 0 {
-		return nil
+	if c.jnl != nil {
+		pj, err := p.JSON()
+		if err != nil {
+			return err
+		}
+		if err := c.jnl.append(jrec{kind: jrComplete, shard: shard, runner: runner, partial: pj}, true); err != nil {
+			return err
+		}
 	}
-	parts := make([]*fleet.Partial, len(c.shards))
-	for i := range c.shards {
-		parts[i] = c.shards[i].partial
-	}
-	rep, err := c.job.Merge(parts)
-	if err != nil {
-		c.fail(err)
-		return nil
-	}
-	c.report, c.finished = rep, true
-	c.logf("coord: job done, report merged")
-	close(c.doneCh)
+	c.applyComplete(shard, runner, p)
 	return nil
 }
 
-// Fail reports a shard attempt that errored. The attempt is charged
-// against MaxAttempts; the shard is requeued (with Resume) or the job
-// fails terminally.
-func (c *Coordinator) Fail(runner string, shard int, msg string) error {
+// Fail reports a shard attempt that errored. The attempt key is the
+// Task.Attempt of the failing lease: a genuine failure is charged
+// against MaxAttempts and requeues the shard (with Resume) or fails
+// the job terminally; a retried duplicate of an attempt already
+// charged is an idempotent success.
+func (c *Coordinator) Fail(runner string, shard, attempt int, msg string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.finished || c.failed != nil {
@@ -272,17 +423,20 @@ func (c *Coordinator) Fail(runner string, shard int, msg string) error {
 		return delivery.ErrLeaseLost
 	}
 	s := &c.shards[shard]
-	if s.state != "running" || s.runner != runner {
-		return delivery.ErrLeaseLost
-	}
-	c.logf("coord: shard %d attempt %d failed on %s: %s", shard, s.attempt, runner, msg)
-	if s.attempt >= c.opts.MaxAttempts {
-		c.fail(fmt.Errorf("coord: shard %d failed %d times, last error from %s: %s",
-			shard, s.attempt, runner, msg))
+	if s.state == "running" && s.runner == runner && attempt == s.attempt-1 {
+		if c.jnl != nil {
+			rec := jrec{kind: jrFail, shard: shard, runner: runner, attempt: attempt, msg: msg}
+			if err := c.jnl.append(rec, true); err != nil {
+				return err
+			}
+		}
+		c.applyFail(shard, runner, attempt, msg)
 		return nil
 	}
-	s.state, s.runner, s.resume = "pending", "", true
-	return nil
+	if runner != "" && s.failedBy == runner && s.failedAt == attempt {
+		return nil
+	}
+	return delivery.ErrLeaseLost
 }
 
 // Status snapshots the run for /status consumers.
@@ -358,6 +512,126 @@ func (c *Coordinator) Wait(ctx context.Context) (fleet.Report, error) {
 		return fleet.Report{}, c.failed
 	}
 	return c.report, nil
+}
+
+// Close releases the coordinator's journal file handle (if any). It
+// does not end or abandon the job.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.jnl == nil {
+		return nil
+	}
+	err := c.jnl.close()
+	c.jnl = nil
+	return err
+}
+
+// replayState builds a coordinator from a journal's records without
+// opening a journal for further appends. The first record must be the
+// submit; later records are applied through the same apply* helpers
+// the live paths use, so replayed state is bit-for-bit the state the
+// crashed coordinator held (up to lease expiries, which are re-derived
+// from the clock).
+func replayState(opts Options, recs []jrec) (*Coordinator, error) {
+	if len(recs) == 0 || recs[0].kind != jrSubmit {
+		return nil, fmt.Errorf("coord: journal does not begin with a job record")
+	}
+	job, err := fleet.ParseJob(recs[0].job)
+	if err != nil {
+		return nil, fmt.Errorf("coord: journal job spec: %w", err)
+	}
+	c := New(opts)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.installJob(job)
+	now := c.opts.Now()
+	for i, rec := range recs[1:] {
+		if rec.kind != jrSubmit && (rec.shard < 0 || rec.shard >= len(c.shards)) {
+			return nil, fmt.Errorf("coord: journal record %d references shard %d of %d", i+1, rec.shard, len(c.shards))
+		}
+		switch rec.kind {
+		case jrSubmit:
+			return nil, fmt.Errorf("coord: journal record %d is a second job record", i+1)
+		case jrGrant:
+			c.applyGrant(rec.shard, rec.runner, rec.attempt, rec.resume, now)
+		case jrBeat:
+			c.applyBeat(delivery.Beat{Shard: rec.shard, DevicesDone: rec.devicesDone,
+				SimDoneMS: rec.simDoneMS, LastCheckpoint: rec.lastCheckpoint}, now)
+		case jrComplete:
+			p, err := fleet.ParsePartial(rec.partial)
+			if err != nil {
+				return nil, fmt.Errorf("coord: journal record %d partial: %w", i+1, err)
+			}
+			s := &c.shards[rec.shard]
+			if p.ShardIndex != rec.shard || p.ShardCount != c.job.Shards ||
+				p.RangeLo != s.lo || p.RangeHi != s.hi {
+				return nil, fmt.Errorf("coord: journal record %d partial does not describe shard %d", i+1, rec.shard)
+			}
+			c.applyComplete(rec.shard, rec.runner, p)
+		case jrFail:
+			c.applyFail(rec.shard, rec.runner, rec.attempt, rec.msg)
+		default:
+			return nil, fmt.Errorf("coord: journal record %d has unknown kind %d", i+1, rec.kind)
+		}
+	}
+	return c, nil
+}
+
+// Recover rebuilds a coordinator from the journal in dir (written by a
+// previous coordinator whose job carried dir as its checkpoint dir)
+// and reopens the journal for appending, so the recovered coordinator
+// continues journaling where the crashed one stopped. A torn final
+// record — the crash landed mid-append — is truncated away with a
+// warning; any longer corruption fails loudly, never silently
+// diverges. Running leases are given one fresh lease interval from
+// recovery time to re-heartbeat.
+func Recover(opts Options, dir string) (*Coordinator, error) {
+	opts = opts.withDefaults()
+	path := JournalPath(dir)
+	recs, goodEnd, terr := readJournal(path)
+	if len(recs) == 0 {
+		if terr == nil {
+			return nil, fmt.Errorf("coord: journal %s is empty", path)
+		}
+		return nil, fmt.Errorf("coord: journal %s is unreadable: %w", path, terr)
+	}
+	if terr != nil {
+		if opts.Logf != nil {
+			opts.Logf("coord: journal %s has a torn tail (%v); truncating to last valid record at byte %d",
+				path, terr, goodEnd)
+		}
+		if err := os.Truncate(path, goodEnd); err != nil {
+			return nil, fmt.Errorf("coord: truncate torn journal tail: %w", err)
+		}
+	}
+	c, err := replayState(opts, recs)
+	if err != nil {
+		return nil, err
+	}
+	jnl, err := openJournalAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.jnl = jnl
+	c.mu.Unlock()
+	if opts.Logf != nil {
+		st := c.Status()
+		opts.Logf("coord: recovered job from %s: %d records, %d/%d shards done",
+			path, len(recs), countDone(st), len(st.Shards))
+	}
+	return c, nil
+}
+
+func countDone(st delivery.Status) int {
+	n := 0
+	for _, s := range st.Shards {
+		if s.State == "done" {
+			n++
+		}
+	}
+	return n
 }
 
 var _ delivery.Service = (*Coordinator)(nil)

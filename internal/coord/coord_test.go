@@ -262,7 +262,7 @@ func TestFailChargesAttempt(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := co.Fail("a", task.Shard, "induced"); err != nil {
+	if err := co.Fail("a", task.Shard, task.Attempt, "induced"); err != nil {
 		t.Fatal(err)
 	}
 	task2, err := co.Claim("a")
@@ -272,7 +272,7 @@ func TestFailChargesAttempt(t *testing.T) {
 	if !task2.Resume || task2.Attempt != 1 {
 		t.Fatalf("requeued task: resume=%v attempt=%d", task2.Resume, task2.Attempt)
 	}
-	if err := co.Fail("a", task2.Shard, "induced again"); err != nil {
+	if err := co.Fail("a", task2.Shard, task2.Attempt, "induced again"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := co.Claim("a"); !errors.Is(err, delivery.ErrDone) {

@@ -16,6 +16,7 @@
 package delivery
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/fleet"
@@ -103,9 +104,15 @@ type ShardStatus struct {
 
 // Service is the coordinator's side of the conversation,
 // transport-independent: one implementation (coord.Coordinator) sits
-// behind every delivery mechanism.
+// behind every delivery mechanism. Calls that a retrying client may
+// deliver twice are idempotent: a duplicate Submit of the identical
+// job, a duplicate Complete from the runner that already completed the
+// shard, and a duplicate Fail of an attempt already charged all return
+// success rather than an error, so a lost acknowledgement costs a
+// retry, never a divergence.
 type Service interface {
-	// Submit installs the job. A coordinator accepts exactly one.
+	// Submit installs the job. A coordinator accepts exactly one;
+	// re-submitting the identical job is an idempotent success.
 	Submit(job fleet.Job) error
 	// Claim leases the next shard to the named runner (ErrNoWork,
 	// ErrDone when there is nothing to lease).
@@ -113,11 +120,14 @@ type Service interface {
 	// Heartbeat renews the runner's lease on beat.Shard and records
 	// progress (ErrLeaseLost when the lease is gone).
 	Heartbeat(runner string, beat Beat) error
-	// Complete delivers a finished shard's partial report.
+	// Complete delivers a finished shard's partial report. Duplicates
+	// from the completing runner are deduplicated.
 	Complete(runner string, shard int, p *fleet.Partial) error
 	// Fail reports a shard attempt that errored (as opposed to a runner
-	// that silently vanished — those are caught by lease expiry).
-	Fail(runner string, shard int, msg string) error
+	// that silently vanished — those are caught by lease expiry). The
+	// attempt key (Task.Attempt of the failing lease) deduplicates
+	// retried deliveries against the shard's current lease.
+	Fail(runner string, shard, attempt int, msg string) error
 	// Status snapshots the run.
 	Status() Status
 	// Result returns the merged report's JSON once the job is done
@@ -127,14 +137,18 @@ type Service interface {
 
 // Conn is the runner's (client) side of a delivery mechanism: the same
 // conversation, plus transport failures surfacing as ordinary errors
-// and a Close. Status gains an error return for the same reason.
+// and a Close. Status gains an error return for the same reason. Every
+// call takes a context that cancels the in-flight request — a runner
+// shutting down must not hang on a dead coordinator — and transport
+// failures compose with Retry/Backoff for clients that want to ride
+// them out.
 type Conn interface {
-	Submit(job fleet.Job) error
-	Claim(runner string) (Task, error)
-	Heartbeat(runner string, beat Beat) error
-	Complete(runner string, shard int, p *fleet.Partial) error
-	Fail(runner string, shard int, msg string) error
-	Status() (Status, error)
-	Result(canonical bool) ([]byte, error)
+	Submit(ctx context.Context, job fleet.Job) error
+	Claim(ctx context.Context, runner string) (Task, error)
+	Heartbeat(ctx context.Context, runner string, beat Beat) error
+	Complete(ctx context.Context, runner string, shard int, p *fleet.Partial) error
+	Fail(ctx context.Context, runner string, shard, attempt int, msg string) error
+	Status(ctx context.Context) (Status, error)
+	Result(ctx context.Context, canonical bool) ([]byte, error)
 	Close() error
 }

@@ -1,9 +1,13 @@
 package delivery
 
 import (
+	"context"
 	"errors"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/fleet"
 	"repro/internal/units"
@@ -18,6 +22,7 @@ type stubService struct {
 	beats     []Beat
 	completed []*fleet.Partial
 	failures  []string
+	failedAt  []int
 	status    Status
 	result    []byte
 	resultErr error
@@ -36,8 +41,9 @@ func (s *stubService) Complete(runner string, shard int, p *fleet.Partial) error
 	s.completed = append(s.completed, p)
 	return nil
 }
-func (s *stubService) Fail(runner string, shard int, msg string) error {
+func (s *stubService) Fail(runner string, shard, attempt int, msg string) error {
 	s.failures = append(s.failures, msg)
+	s.failedAt = append(s.failedAt, attempt)
 	return nil
 }
 func (s *stubService) Status() Status                        { return s.status }
@@ -86,7 +92,7 @@ func TestInprocDeliversByValue(t *testing.T) {
 	svc := &stubService{}
 	tr := ServeInproc(svc)
 	defer tr.Close()
-	err = tr.Conn().Submit(job)
+	err = tr.Conn().Submit(context.Background(), job)
 	if err == nil || !strings.Contains(err.Error(), "unknown scenario") {
 		t.Fatalf("non-registry job crossed the in-process wire: %v", err)
 	}
@@ -98,6 +104,7 @@ func TestInprocDeliversByValue(t *testing.T) {
 // TestInprocRoundTrip: every message type survives the in-process
 // mechanism's JSON round-trip intact.
 func TestInprocRoundTrip(t *testing.T) {
+	ctx := context.Background()
 	job := registryJob(t)
 	svc := &stubService{
 		task: Task{Job: job, Shard: 1, Resume: true, Attempt: 2, HeartbeatMS: 250},
@@ -111,13 +118,13 @@ func TestInprocRoundTrip(t *testing.T) {
 	defer tr.Close()
 	conn := tr.Conn()
 
-	if err := conn.Submit(job); err != nil {
+	if err := conn.Submit(ctx, job); err != nil {
 		t.Fatal(err)
 	}
 	if svc.submitted == nil || *svc.submitted != job {
 		t.Fatalf("submit mangled the job: %+v", svc.submitted)
 	}
-	task, err := conn.Claim("r")
+	task, err := conn.Claim(ctx, "r")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,26 +132,26 @@ func TestInprocRoundTrip(t *testing.T) {
 		t.Fatalf("claim mangled the task: %+v vs %+v", task, svc.task)
 	}
 	beat := Beat{Shard: 1, DevicesDone: 3, SimDoneMS: 9000, LastCheckpoint: 0}
-	if err := conn.Heartbeat("r", beat); err != nil {
+	if err := conn.Heartbeat(ctx, "r", beat); err != nil {
 		t.Fatal(err)
 	}
 	if len(svc.beats) != 1 || svc.beats[0] != beat {
 		t.Fatalf("heartbeat mangled the beat: %+v", svc.beats)
 	}
-	if err := conn.Fail("r", 1, "boom"); err != nil {
+	if err := conn.Fail(ctx, "r", 1, 2, "boom"); err != nil {
 		t.Fatal(err)
 	}
-	if len(svc.failures) != 1 || svc.failures[0] != "boom" {
-		t.Fatalf("fail mangled the message: %+v", svc.failures)
+	if len(svc.failures) != 1 || svc.failures[0] != "boom" || svc.failedAt[0] != 2 {
+		t.Fatalf("fail mangled the message: %+v at %+v", svc.failures, svc.failedAt)
 	}
-	st, err := conn.Status()
+	st, err := conn.Status(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.DevicesDone != 3 || len(st.Shards) != 1 || st.Shards[0].LastCheckpoint != 4 {
 		t.Fatalf("status mangled: %+v", st)
 	}
-	b, err := conn.Result(false)
+	b, err := conn.Result(ctx, false)
 	if err != nil || string(b) != `{"ok":true}` {
 		t.Fatalf("result mangled: %s, %v", b, err)
 	}
@@ -166,7 +173,7 @@ func TestInprocPartialRoundTrip(t *testing.T) {
 	svc := &stubService{}
 	tr := ServeInproc(svc)
 	defer tr.Close()
-	if err := tr.Conn().Complete("r", 0, part); err != nil {
+	if err := tr.Conn().Complete(context.Background(), "r", 0, part); err != nil {
 		t.Fatal(err)
 	}
 	if len(svc.completed) != 1 {
@@ -185,7 +192,7 @@ func TestInprocClosed(t *testing.T) {
 	tr := ServeInproc(&stubService{})
 	conn := tr.Conn()
 	tr.Close()
-	if _, err := conn.Claim("r"); !errors.Is(err, ErrClosed) {
+	if _, err := conn.Claim(context.Background(), "r"); !errors.Is(err, ErrClosed) {
 		t.Fatalf("claim on closed transport: got %v", err)
 	}
 	if err := tr.Close(); err != nil {
@@ -215,5 +222,110 @@ func TestSentinelWireCodes(t *testing.T) {
 	if err := decodeErr(500, []byte("something broke")); err == nil ||
 		!strings.Contains(err.Error(), "something broke") {
 		t.Fatalf("plain error lost its text: %v", err)
+	}
+}
+
+// TestBackoffDelaySchedule: the delay schedule is deterministic in
+// (Seed, attempt), capped, exponential without jitter, and seed-
+// sensitive with it.
+func TestBackoffDelaySchedule(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond, Seed: 42}
+	for i := 1; i <= 12; i++ {
+		if b.Delay(i) != b.Delay(i) {
+			t.Fatalf("delay %d is not deterministic", i)
+		}
+		if max := time.Duration(float64(80*time.Millisecond) * 1.2); b.Delay(i) > max {
+			t.Fatalf("delay %d = %v exceeds jittered cap %v", i, b.Delay(i), max)
+		}
+	}
+	nz := Backoff{Base: 10 * time.Millisecond, Cap: 100 * time.Millisecond, Jitter: -1}
+	want := []time.Duration{10, 20, 40, 80, 100, 100}
+	for i, w := range want {
+		if got := nz.Delay(i + 1); got != w*time.Millisecond {
+			t.Fatalf("zero-jitter delay %d = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+	s1, s2 := Backoff{Seed: 1}, Backoff{Seed: 2}
+	same := true
+	for i := 1; i <= 8; i++ {
+		if s1.Delay(i) != s2.Delay(i) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter streams")
+	}
+}
+
+// TestRetryOutcomes: protocol answers end the loop immediately,
+// transport errors are retried to MaxAttempts, success stops early,
+// and a dead context always wins.
+func TestRetryOutcomes(t *testing.T) {
+	ctx := context.Background()
+	fast := Backoff{Base: time.Millisecond, Cap: 2 * time.Millisecond, Jitter: -1}
+
+	calls := 0
+	err := Retry(ctx, fast, func(context.Context) error { calls++; return ErrLeaseLost })
+	if !errors.Is(err, ErrLeaseLost) || calls != 1 {
+		t.Fatalf("protocol outcome: err %v after %d calls", err, calls)
+	}
+
+	boom := errors.New("boom")
+	calls = 0
+	bounded := fast
+	bounded.MaxAttempts = 3
+	if err := Retry(ctx, bounded, func(context.Context) error { calls++; return boom }); !errors.Is(err, boom) || calls != 3 {
+		t.Fatalf("bounded retry: err %v after %d calls, want boom after 3", err, calls)
+	}
+
+	calls = 0
+	err = Retry(ctx, bounded, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return boom
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("eventual success: err %v after %d calls", err, calls)
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	slow := Backoff{Base: time.Hour}
+	if err := Retry(cctx, slow, func(context.Context) error { return boom }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled context: err %v, want Canceled", err)
+	}
+}
+
+// TestHTTPContextCancelsInFlight: cancelling the caller's context must
+// abort an in-flight HTTP request promptly — a runner shutting down
+// cannot afford to wait out the 30 s client timeout against a hung
+// coordinator.
+func TestHTTPContextCancelsInFlight(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-r.Context().Done() // hang until the client goes away
+	}))
+	defer srv.Close()
+	conn := DialHTTP(srv.URL)
+	defer conn.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := conn.Status(ctx)
+		done <- err
+	}()
+	<-entered
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("aborted call returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not abort the in-flight request")
 	}
 }

@@ -2,6 +2,7 @@ package delivery
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -99,9 +100,10 @@ type completeReq struct {
 	Partial json.RawMessage `json:"partial"`
 }
 type failReq struct {
-	Runner string `json:"runner"`
-	Shard  int    `json:"shard"`
-	Msg    string `json:"msg"`
+	Runner  string `json:"runner"`
+	Shard   int    `json:"shard"`
+	Attempt int    `json:"attempt"`
+	Msg     string `json:"msg"`
 }
 
 // Handler adapts a Service into the HTTP delivery mechanism's server
@@ -183,7 +185,7 @@ func Handler(svc Service) http.Handler {
 			writeErr(w, fmt.Errorf("delivery: bad fail request: %w", err))
 			return
 		}
-		if err := svc.Fail(req.Runner, req.Shard, req.Msg); err != nil {
+		if err := svc.Fail(req.Runner, req.Shard, req.Attempt, req.Msg); err != nil {
 			writeErr(w, err)
 			return
 		}
@@ -221,12 +223,20 @@ func DialHTTP(base string) Conn {
 }
 
 // post sends v and decodes the response into out (ignored when nil).
-func (c *httpConn) post(path string, v, out any) error {
+// The request is built on ctx, so cancellation aborts it in flight —
+// a runner shutting down does not wait out the 30 s client timeout
+// against a dead coordinator.
+func (c *httpConn) post(ctx context.Context, path string, v, out any) error {
 	body, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
-	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
 	}
@@ -244,8 +254,12 @@ func (c *httpConn) post(path string, v, out any) error {
 	return json.Unmarshal(respBody, out)
 }
 
-func (c *httpConn) get(path string, out *[]byte) error {
-	resp, err := c.hc.Get(c.base + path)
+func (c *httpConn) get(ctx context.Context, path string, out *[]byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
 	}
@@ -261,37 +275,37 @@ func (c *httpConn) get(path string, out *[]byte) error {
 	return nil
 }
 
-func (c *httpConn) Submit(job fleet.Job) error {
-	return c.post(pathSubmit, job, nil)
+func (c *httpConn) Submit(ctx context.Context, job fleet.Job) error {
+	return c.post(ctx, pathSubmit, job, nil)
 }
 
-func (c *httpConn) Claim(runner string) (Task, error) {
+func (c *httpConn) Claim(ctx context.Context, runner string) (Task, error) {
 	var task Task
-	if err := c.post(pathClaim, claimReq{Runner: runner}, &task); err != nil {
+	if err := c.post(ctx, pathClaim, claimReq{Runner: runner}, &task); err != nil {
 		return Task{}, err
 	}
 	return task, nil
 }
 
-func (c *httpConn) Heartbeat(runner string, beat Beat) error {
-	return c.post(pathHeartbeat, heartbeatReq{Runner: runner, Beat: beat}, nil)
+func (c *httpConn) Heartbeat(ctx context.Context, runner string, beat Beat) error {
+	return c.post(ctx, pathHeartbeat, heartbeatReq{Runner: runner, Beat: beat}, nil)
 }
 
-func (c *httpConn) Complete(runner string, shard int, p *fleet.Partial) error {
+func (c *httpConn) Complete(ctx context.Context, runner string, shard int, p *fleet.Partial) error {
 	b, err := p.JSON()
 	if err != nil {
 		return err
 	}
-	return c.post(pathComplete, completeReq{Runner: runner, Shard: shard, Partial: b}, nil)
+	return c.post(ctx, pathComplete, completeReq{Runner: runner, Shard: shard, Partial: b}, nil)
 }
 
-func (c *httpConn) Fail(runner string, shard int, msg string) error {
-	return c.post(pathFail, failReq{Runner: runner, Shard: shard, Msg: msg}, nil)
+func (c *httpConn) Fail(ctx context.Context, runner string, shard, attempt int, msg string) error {
+	return c.post(ctx, pathFail, failReq{Runner: runner, Shard: shard, Attempt: attempt, Msg: msg}, nil)
 }
 
-func (c *httpConn) Status() (Status, error) {
+func (c *httpConn) Status(ctx context.Context) (Status, error) {
 	var body []byte
-	if err := c.get(pathStatus, &body); err != nil {
+	if err := c.get(ctx, pathStatus, &body); err != nil {
 		return Status{}, err
 	}
 	var st Status
@@ -301,13 +315,13 @@ func (c *httpConn) Status() (Status, error) {
 	return st, nil
 }
 
-func (c *httpConn) Result(canonical bool) ([]byte, error) {
+func (c *httpConn) Result(ctx context.Context, canonical bool) ([]byte, error) {
 	path := pathResult
 	if canonical {
 		path += "?canonical=1"
 	}
 	var body []byte
-	if err := c.get(path, &body); err != nil {
+	if err := c.get(ctx, path, &body); err != nil {
 		return nil, err
 	}
 	return body, nil

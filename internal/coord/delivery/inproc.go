@@ -1,6 +1,7 @@
 package delivery
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -61,10 +62,15 @@ func (t *Inproc) Conn() Conn { return &inprocConn{t: t} }
 
 type inprocConn struct{ t *Inproc }
 
-// do runs f on the serving goroutine and waits for it.
-func (c *inprocConn) do(f func()) error {
+// do runs f on the serving goroutine and waits for it. Context
+// cancellation abandons the wait (mirroring an HTTP request aborted in
+// flight): f may still run on the server side, which is exactly the
+// ambiguity a retrying client must tolerate.
+func (c *inprocConn) do(ctx context.Context, f func()) error {
 	done := make(chan struct{})
 	select {
+	case <-ctx.Done():
+		return ctx.Err()
 	case <-c.t.closed:
 		return ErrClosed
 	case c.t.reqs <- func() { f(); close(done) }:
@@ -72,6 +78,13 @@ func (c *inprocConn) do(f func()) error {
 	select {
 	case <-done:
 		return nil
+	case <-ctx.Done():
+		select {
+		case <-done:
+			return nil
+		default:
+			return ctx.Err()
+		}
 	case <-c.t.closed:
 		// The serving goroutine may already have picked f up; prefer
 		// the result if it raced to completion.
@@ -98,7 +111,7 @@ func roundTrip(in, out any) error {
 	return nil
 }
 
-func (c *inprocConn) Submit(job fleet.Job) error {
+func (c *inprocConn) Submit(ctx context.Context, job fleet.Job) error {
 	var wire fleet.Job
 	if err := roundTrip(job, &wire); err != nil {
 		return err
@@ -110,16 +123,16 @@ func (c *inprocConn) Submit(job fleet.Job) error {
 		return err
 	}
 	var err error
-	if derr := c.do(func() { err = c.t.svc.Submit(wire) }); derr != nil {
+	if derr := c.do(ctx, func() { err = c.t.svc.Submit(wire) }); derr != nil {
 		return derr
 	}
 	return err
 }
 
-func (c *inprocConn) Claim(runner string) (Task, error) {
+func (c *inprocConn) Claim(ctx context.Context, runner string) (Task, error) {
 	var task Task
 	var err error
-	if derr := c.do(func() { task, err = c.t.svc.Claim(runner) }); derr != nil {
+	if derr := c.do(ctx, func() { task, err = c.t.svc.Claim(runner) }); derr != nil {
 		return Task{}, derr
 	}
 	if err != nil {
@@ -132,15 +145,15 @@ func (c *inprocConn) Claim(runner string) (Task, error) {
 	return wire, nil
 }
 
-func (c *inprocConn) Heartbeat(runner string, beat Beat) error {
+func (c *inprocConn) Heartbeat(ctx context.Context, runner string, beat Beat) error {
 	var err error
-	if derr := c.do(func() { err = c.t.svc.Heartbeat(runner, beat) }); derr != nil {
+	if derr := c.do(ctx, func() { err = c.t.svc.Heartbeat(runner, beat) }); derr != nil {
 		return derr
 	}
 	return err
 }
 
-func (c *inprocConn) Complete(runner string, shard int, p *fleet.Partial) error {
+func (c *inprocConn) Complete(ctx context.Context, runner string, shard int, p *fleet.Partial) error {
 	// The round-trip matters most here: the partial is the payload the
 	// whole system exists to move, and ParsePartial is the gate every
 	// real transport runs it through.
@@ -152,23 +165,23 @@ func (c *inprocConn) Complete(runner string, shard int, p *fleet.Partial) error 
 	if err != nil {
 		return err
 	}
-	if derr := c.do(func() { err = c.t.svc.Complete(runner, shard, wire) }); derr != nil {
+	if derr := c.do(ctx, func() { err = c.t.svc.Complete(runner, shard, wire) }); derr != nil {
 		return derr
 	}
 	return err
 }
 
-func (c *inprocConn) Fail(runner string, shard int, msg string) error {
+func (c *inprocConn) Fail(ctx context.Context, runner string, shard, attempt int, msg string) error {
 	var err error
-	if derr := c.do(func() { err = c.t.svc.Fail(runner, shard, msg) }); derr != nil {
+	if derr := c.do(ctx, func() { err = c.t.svc.Fail(runner, shard, attempt, msg) }); derr != nil {
 		return derr
 	}
 	return err
 }
 
-func (c *inprocConn) Status() (Status, error) {
+func (c *inprocConn) Status(ctx context.Context) (Status, error) {
 	var st Status
-	if derr := c.do(func() { st = c.t.svc.Status() }); derr != nil {
+	if derr := c.do(ctx, func() { st = c.t.svc.Status() }); derr != nil {
 		return Status{}, derr
 	}
 	var wire Status
@@ -178,10 +191,10 @@ func (c *inprocConn) Status() (Status, error) {
 	return wire, nil
 }
 
-func (c *inprocConn) Result(canonical bool) ([]byte, error) {
+func (c *inprocConn) Result(ctx context.Context, canonical bool) ([]byte, error) {
 	var b []byte
 	var err error
-	if derr := c.do(func() { b, err = c.t.svc.Result(canonical) }); derr != nil {
+	if derr := c.do(ctx, func() { b, err = c.t.svc.Result(canonical) }); derr != nil {
 		return nil, derr
 	}
 	return b, err

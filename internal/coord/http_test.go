@@ -32,7 +32,7 @@ func TestHTTPLoopbackRunnerDeath(t *testing.T) {
 
 	conn := delivery.DialHTTP(srv.URL)
 	defer conn.Close()
-	if err := conn.Submit(job); err != nil {
+	if err := conn.Submit(context.Background(), job); err != nil {
 		t.Fatal(err)
 	}
 
@@ -92,7 +92,7 @@ func TestHTTPLoopbackRunnerDeath(t *testing.T) {
 	if !killed.Load() {
 		t.Fatal("victim was never killed: the death path went unexercised")
 	}
-	st, err := conn.Status()
+	st, err := conn.Status(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,14 +105,14 @@ func TestHTTPLoopbackRunnerDeath(t *testing.T) {
 	}
 
 	want := singleProcess(t, job)
-	got, err := conn.Result(false)
+	got, err := conn.Result(context.Background(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if wj := mustJSON(t, want); !bytes.Equal(got, wj) {
 		t.Fatalf("full JSON diverged after runner death:\n%s\nvs\n%s", got, wj)
 	}
-	gotC, err := conn.Result(true)
+	gotC, err := conn.Result(context.Background(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,30 +128,36 @@ func TestHTTPLoopbackRunnerDeath(t *testing.T) {
 // TestHTTPStatusAndErrors: the HTTP mechanism must map every sentinel
 // faithfully and expose live status.
 func TestHTTPStatusAndErrors(t *testing.T) {
+	ctx := context.Background()
 	co := New(Options{})
 	srv := httptest.NewServer(delivery.Handler(co))
 	defer srv.Close()
 	conn := delivery.DialHTTP(srv.URL)
 	defer conn.Close()
 
-	if _, err := conn.Claim("r"); err != delivery.ErrNoWork {
+	if _, err := conn.Claim(ctx, "r"); err != delivery.ErrNoWork {
 		t.Fatalf("claim before submit: got %v, want ErrNoWork", err)
 	}
-	if _, err := conn.Result(false); err != delivery.ErrNotDone {
+	if _, err := conn.Result(ctx, false); err != delivery.ErrNotDone {
 		t.Fatalf("result before done: got %v, want ErrNotDone", err)
 	}
-	if err := conn.Heartbeat("r", delivery.Beat{Shard: 0}); err != delivery.ErrLeaseLost {
+	if err := conn.Heartbeat(ctx, "r", delivery.Beat{Shard: 0}); err != delivery.ErrLeaseLost {
 		t.Fatalf("orphan heartbeat: got %v, want ErrLeaseLost", err)
 	}
 
 	job := dayJob(t, 4, 2)
-	if err := conn.Submit(job); err != nil {
+	if err := conn.Submit(ctx, job); err != nil {
 		t.Fatal(err)
 	}
-	if err := conn.Submit(job); err == nil {
-		t.Fatal("second submit accepted")
+	// A byte-identical resubmit is idempotent (it is how a submitter's
+	// retry after a lost reply stays safe); a different job is refused.
+	if err := conn.Submit(ctx, job); err != nil {
+		t.Fatalf("idempotent resubmit refused: %v", err)
 	}
-	st, err := conn.Status()
+	if err := conn.Submit(ctx, dayJob(t, 8, 2)); err == nil {
+		t.Fatal("conflicting second submit accepted")
+	}
+	st, err := conn.Status(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}

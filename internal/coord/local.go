@@ -40,10 +40,11 @@ func RunLocal(ctx context.Context, job fleet.Job, opt LocalOptions) (fleet.Repor
 	if opt.Logf != nil && co.opts.Logf == nil {
 		co.opts.Logf = opt.Logf
 	}
+	defer co.Close()
 	srv := delivery.ServeInproc(co)
 	defer srv.Close()
 
-	if err := srv.Conn().Submit(job); err != nil {
+	if err := srv.Conn().Submit(ctx, job); err != nil {
 		return fleet.Report{}, err
 	}
 

@@ -3,6 +3,7 @@ package coord
 import (
 	"context"
 	"errors"
+	"hash/fnv"
 	"sync"
 	"time"
 
@@ -17,6 +18,13 @@ import (
 // through the same Progress callback (the admission window stops
 // dispatching within one reduced device), so a superseded runner stops
 // burning CPU on work someone else now owns.
+//
+// A runner never gives up on an unreachable coordinator: claim
+// failures back off under the shared delivery.Backoff policy (so a
+// fleet of runners rides out a coordinator restart or partition and
+// reattaches when it returns), and a finished shard's Complete is
+// retried until it is delivered or the context ends — the partial in
+// hand may be the last copy of hours of simulation.
 type Runner struct {
 	// ID names this runner in leases and logs.
 	ID string
@@ -26,6 +34,14 @@ type Runner struct {
 	Workers int
 	// Poll is the idle wait between ErrNoWork claims (default 200ms).
 	Poll time.Duration
+	// Backoff is the retry policy for transport failures (zero =
+	// delivery defaults; Seed defaults to a hash of ID so each runner
+	// jitters differently but reproducibly).
+	Backoff delivery.Backoff
+	// WarnEvery rate-limits the coordinator-unreachable warning line
+	// (default 30s): one line per window with a suppressed-failure
+	// count, not one line per failed claim.
+	WarnEvery time.Duration
 	// OnProgress, when set, observes every Progress update of every
 	// shard this runner executes (tests use it to induce deaths; the
 	// CLI feeds its progress line from it).
@@ -33,10 +49,6 @@ type Runner struct {
 	// Logf, when set, receives one line per task event.
 	Logf func(format string, args ...any)
 }
-
-// maxClaimFailures bounds consecutive transport errors before the
-// runner gives up on the coordinator.
-const maxClaimFailures = 10
 
 func (r *Runner) logf(format string, args ...any) {
 	if r.Logf != nil {
@@ -51,34 +63,79 @@ func (r *Runner) poll() time.Duration {
 	return 200 * time.Millisecond
 }
 
-// Run claims and executes shards until the job is done (nil), the
-// context ends, or the coordinator becomes unreachable.
+// backoff returns the runner's retry policy with its ID-derived jitter
+// seed applied.
+func (r *Runner) backoff() delivery.Backoff {
+	b := r.Backoff
+	if b.Seed == 0 {
+		h := fnv.New64a()
+		h.Write([]byte(r.ID))
+		b.Seed = int64(h.Sum64() >> 1)
+	}
+	return b
+}
+
+// callTimeout is the per-attempt deadline for direct (non-Retry)
+// calls.
+func (r *Runner) callTimeout() time.Duration {
+	if r.Backoff.CallTimeout > 0 {
+		return r.Backoff.CallTimeout
+	}
+	return 30 * time.Second
+}
+
+// Run claims and executes shards until the job is done (nil) or the
+// context ends. Transport failures are ridden out indefinitely with
+// backoff — reattaching to a restarted coordinator is the runner's
+// job, not the operator's.
 func (r *Runner) Run(ctx context.Context) error {
-	failures := 0
+	b := r.backoff()
+	warnEvery := r.WarnEvery
+	if warnEvery <= 0 {
+		warnEvery = 30 * time.Second
+	}
+	failures := 0   // consecutive transport failures
+	suppressed := 0 // warnings withheld since the last emitted one
+	var lastWarn time.Time
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		task, err := r.Conn.Claim(r.ID)
+		cctx, cancel := context.WithTimeout(ctx, r.callTimeout())
+		task, err := r.Conn.Claim(cctx, r.ID)
+		cancel()
 		switch {
 		case errors.Is(err, delivery.ErrDone):
 			return nil
 		case errors.Is(err, delivery.ErrNoWork):
+			failures, suppressed = 0, 0
 			if err := sleep(ctx, r.poll()); err != nil {
 				return err
 			}
 			continue
 		case err != nil:
-			failures++
-			if failures >= maxClaimFailures {
-				return err
+			if ctx.Err() != nil {
+				return ctx.Err()
 			}
-			if err := sleep(ctx, r.poll()); err != nil {
+			failures++
+			now := time.Now()
+			if lastWarn.IsZero() || now.Sub(lastWarn) >= warnEvery {
+				if suppressed > 0 {
+					r.logf("runner %s: coordinator unreachable, retrying with backoff (%d failures suppressed since last warning; latest: %v)",
+						r.ID, suppressed, err)
+				} else {
+					r.logf("runner %s: coordinator unreachable, retrying with backoff: %v", r.ID, err)
+				}
+				lastWarn, suppressed = now, 0
+			} else {
+				suppressed++
+			}
+			if err := sleep(ctx, b.Delay(failures)); err != nil {
 				return err
 			}
 			continue
 		}
-		failures = 0
+		failures, suppressed, lastWarn = 0, 0, time.Time{}
 		if err := r.runTask(ctx, task); err != nil {
 			return err
 		}
@@ -121,7 +178,9 @@ func (r *Runner) runTask(ctx context.Context, task delivery.Task) error {
 			mu.Lock()
 			b := beat
 			mu.Unlock()
-			err := r.Conn.Heartbeat(r.ID, b)
+			hctx, cancel := context.WithTimeout(ctx, r.callTimeout())
+			err := r.Conn.Heartbeat(hctx, r.ID, b)
+			cancel()
 			if errors.Is(err, delivery.ErrLeaseLost) || errors.Is(err, delivery.ErrDone) {
 				close(lost)
 				return
@@ -136,6 +195,7 @@ func (r *Runner) runTask(ctx context.Context, task delivery.Task) error {
 		Shard:   task.Shard,
 		Resume:  task.Resume,
 		Workers: r.Workers,
+		Warnf:   r.Logf,
 		Progress: func(p fleet.Progress) error {
 			mu.Lock()
 			beat.DevicesDone = p.Done
@@ -159,12 +219,19 @@ func (r *Runner) runTask(ctx context.Context, task delivery.Task) error {
 
 	switch {
 	case err == nil:
-		cerr := r.Conn.Complete(r.ID, task.Shard, part)
+		// The partial may be the only copy of this shard's work: retry
+		// its delivery until the coordinator answers (success or a
+		// protocol outcome) or the runner is shut down.
+		cerr := delivery.Retry(ctx, r.backoff(), func(cctx context.Context) error {
+			return r.Conn.Complete(cctx, r.ID, task.Shard, part)
+		})
 		switch {
 		case cerr == nil:
 			r.logf("runner %s: shard %d complete", r.ID, task.Shard)
 		case errors.Is(cerr, delivery.ErrLeaseLost), errors.Is(cerr, delivery.ErrDone):
 			r.logf("runner %s: shard %d finished but lease was gone", r.ID, task.Shard)
+		case ctx.Err() != nil:
+			return ctx.Err()
 		default:
 			r.logf("runner %s: shard %d result undeliverable: %v", r.ID, task.Shard, cerr)
 		}
@@ -176,8 +243,14 @@ func (r *Runner) runTask(ctx context.Context, task delivery.Task) error {
 		return ctx.Err()
 	default:
 		r.logf("runner %s: shard %d failed: %v", r.ID, task.Shard, err)
-		// Best effort: lease expiry covers us if this doesn't arrive.
-		r.Conn.Fail(r.ID, task.Shard, err.Error())
+		// Bounded best effort: lease expiry covers us if this doesn't
+		// arrive, so a few retries are worth it but forever is not.
+		fb := r.backoff()
+		fb.MaxAttempts = 5
+		msg := err.Error()
+		delivery.Retry(ctx, fb, func(cctx context.Context) error {
+			return r.Conn.Fail(cctx, r.ID, task.Shard, task.Attempt, msg)
+		})
 		return nil
 	}
 }

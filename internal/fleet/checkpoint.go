@@ -3,8 +3,10 @@ package fleet
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"math"
 	"os"
 	"path/filepath"
@@ -54,10 +56,11 @@ func snapshotDevice(d *Device) ([]byte, error) {
 		// cannot is a waiter itself — a live reference to a blocked thread
 		// and its billing reserve, plus a pool-crossing prediction over
 		// them, in an object world the restore rebuilds from scratch.
-		return nil, fmt.Errorf("fleet: device %d not checkpoint-quiet: %d callers blocked in netd; "+
+		return nil, fmt.Errorf("fleet: device %d (scenario %q) not checkpoint-quiet: %d callers blocked in netd; "+
 			"a cooperative-pooling session (and its predicted pool-crossing) cannot span a "+
-			"checkpoint — move the epoch boundary to an instant where no poll is in flight",
-			d.Index, n)
+			"checkpoint — the %q workload has a poll in flight at this epoch boundary; "+
+			"move the boundary (-checkpoint-every) to an instant where no poll is in flight",
+			d.Index, d.Scenario, n, d.Scenario)
 	}
 	w := snap.NewWriter()
 	w.Section("fleet-device")
@@ -447,16 +450,82 @@ func (er *epochReader) read(idx int) ([]byte, error) {
 
 func (er *epochReader) close() { er.f.Close() }
 
-// probeEpoch reports whether epoch e's file exists with a matching
-// header. Files are only ever renamed into place complete, so a
-// matching header means a usable resume point.
-func probeEpoch(cfg Config, plan epochPlan, e, lo, hi int) bool {
-	er, err := openEpochReader(cfg, plan, e, lo, hi)
+// errEpochMismatch classifies an epoch file that is structurally sound
+// but belongs to a different run configuration — not corruption, so
+// salvage skips it without quarantining.
+var errEpochMismatch = errors.New("fleet: epoch file belongs to a different run")
+
+// verifyEpoch fully validates epoch e's file as a resume point: header
+// identity, every record frame present with a valid CRC, exactly the
+// shard's device count, and no trailing bytes. It returns nil for a
+// usable file, fs.ErrNotExist (wrapped) when absent, errEpochMismatch
+// (wrapped) for a sound file from a different run, and any other error
+// for corruption — a torn rename, a truncated tail, flipped bits. Only
+// full validation is good enough here: the rename-into-place protocol
+// makes complete files the common case, but salvage exists precisely
+// for the storage failures that break that assumption.
+func verifyEpoch(cfg Config, plan epochPlan, e, lo, hi int) error {
+	path := epochPath(cfg, e)
+	f, err := os.Open(path)
 	if err != nil {
-		return false
+		return err
 	}
-	er.close()
-	return true
+	defer f.Close()
+	er := &epochReader{f: f, br: bufio.NewReaderSize(f, 1<<20), next: lo}
+	kind, blob, err := er.readFrame()
+	if err != nil {
+		return fmt.Errorf("epoch header frame: %w", err)
+	}
+	if kind != 0 {
+		return fmt.Errorf("missing epoch header (leading frame kind %d)", kind)
+	}
+	hr, err := snap.Open(blob)
+	if err != nil {
+		return fmt.Errorf("epoch header: %w", err)
+	}
+	if err := checkEpochHeader(hr, cfg, plan, e, lo, hi); err != nil {
+		return fmt.Errorf("%w: %v", errEpochMismatch, err)
+	}
+	for idx := lo; idx < hi; idx++ {
+		kind, blob, err := er.readFrame()
+		if err != nil {
+			return fmt.Errorf("record for device %d: %w", idx, err)
+		}
+		if kind != recSnapshot && kind != recResult {
+			return fmt.Errorf("record for device %d has unknown kind %d", idx, kind)
+		}
+		if _, err := snap.Open(blob); err != nil {
+			return fmt.Errorf("record for device %d: %w", idx, err)
+		}
+	}
+	if _, _, err := er.readFrame(); err != io.EOF {
+		if err == nil {
+			return fmt.Errorf("trailing data after final device %d", hi-1)
+		}
+		return fmt.Errorf("trailing garbage: %w", err)
+	}
+	return nil
+}
+
+// quarantineEpoch moves a corrupt epoch file aside as <name>.corrupt
+// and writes a <name>.corrupt.report describing the damage, so the bad
+// bytes stay available for diagnosis while resume falls back past
+// them.
+func quarantineEpoch(cfg Config, e int, verr error) error {
+	path := epochPath(cfg, e)
+	if err := os.Rename(path, path+".corrupt"); err != nil {
+		return err
+	}
+	report := fmt.Sprintf(
+		"epoch file quarantined by resume salvage\n\n"+
+			"file:     %s\n"+
+			"moved to: %s.corrupt\n"+
+			"error:    %v\n\n"+
+			"The resume fell back to the newest older epoch that verifies, so at most\n"+
+			"the epochs after it were re-simulated. The report is unaffected (resumed\n"+
+			"runs are byte-identical). Delete the .corrupt files once diagnosed.\n",
+		path, path, verr)
+	return os.WriteFile(path+".corrupt.report", []byte(report), 0o644)
 }
 
 // blobKind classifies an epoch record payload by its leading section.
@@ -473,15 +542,42 @@ func runEpochs(cfg Config, workers int, agg *aggregate) error {
 	lo, hi := cfg.shardRange()
 	plan := planEpochs(cfg)
 
+	// Resume salvage: walk epochs newest-first and continue after the
+	// newest one that fully verifies. A missing file is skipped
+	// silently (the run may simply not have reached it); a sound file
+	// from a different run is skipped with a warning; a corrupt file —
+	// torn write, truncation, flipped bits — is quarantined with a
+	// report and the walk falls back to the epoch before it, so a bad
+	// newest epoch costs re-simulating at most the epochs after the
+	// last good one, never the whole run.
 	start := 0
+	quarantined := 0
 	if cfg.Resume || cfg.ResumeAuto {
 		for e := plan.count - 2; e >= 0; e-- {
-			if probeEpoch(cfg, plan, e, lo, hi) {
+			verr := verifyEpoch(cfg, plan, e, lo, hi)
+			if verr == nil {
 				start = e + 1
 				break
 			}
+			if errors.Is(verr, fs.ErrNotExist) {
+				continue
+			}
+			if errors.Is(verr, errEpochMismatch) {
+				cfg.warnf("fleet: resume: skipping %s: %v", epochPath(cfg, e), verr)
+				continue
+			}
+			cfg.warnf("fleet: resume: quarantining corrupt epoch file %s: %v", epochPath(cfg, e), verr)
+			if qerr := quarantineEpoch(cfg, e, verr); qerr != nil {
+				return fmt.Errorf("fleet: resume: quarantine %s: %w", epochPath(cfg, e), qerr)
+			}
+			quarantined++
 		}
 		if start == 0 && !cfg.ResumeAuto {
+			if quarantined > 0 {
+				return fmt.Errorf("fleet: -resume: no usable epoch file matching this run in %s "+
+					"(%d corrupt file(s) quarantined as *.corrupt — see the *.corrupt.report beside them)",
+					cfg.CheckpointDir, quarantined)
+			}
 			return fmt.Errorf("fleet: -resume: no complete epoch file matching this run in %s", cfg.CheckpointDir)
 		}
 	}

@@ -291,6 +291,11 @@ type Config struct {
 	// dispatched (how a runner abandons a shard whose lease was lost).
 	Progress func(Progress) error
 
+	// Warnf, when set, receives rare operator-facing warning lines —
+	// resume salvage skipping or quarantining a damaged epoch file, for
+	// example. Nil discards them; warnings never fail the run.
+	Warnf func(format string, args ...any)
+
 	// ShardIndex/ShardCount partition the device index range across
 	// independent processes: shard i of n runs the contiguous range
 	// [i·N/n, (i+1)·N/n). Zero ShardCount means unsharded. Sharded runs
@@ -738,6 +743,14 @@ func deviceWire(d DeviceResult, canonical bool) deviceJSON {
 // Report.CanonicalJSON does.
 func (d DeviceResult) NDJSON(canonical bool) ([]byte, error) {
 	return json.Marshal(deviceWire(d, canonical))
+}
+
+// warnf emits an operator-facing warning line (discarded when no
+// Warnf sink is wired).
+func (cfg *Config) warnf(format string, args ...any) {
+	if cfg.Warnf != nil {
+		cfg.Warnf(format, args...)
+	}
 }
 
 // validate normalizes and checks a config, returning the resolved

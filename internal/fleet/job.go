@@ -203,6 +203,9 @@ type ShardRun struct {
 	// them.
 	Progress  func(Progress) error
 	PerDevice func(DeviceResult) error
+	// Warnf receives rare warning lines (see Config.Warnf); runners wire
+	// it to their log.
+	Warnf func(format string, args ...any)
 }
 
 // Run executes the shard and returns its partial report.
@@ -215,6 +218,7 @@ func (s ShardRun) Run() (*Partial, error) {
 	cfg.ResumeAuto = s.Resume
 	cfg.Progress = s.Progress
 	cfg.PerDevice = s.PerDevice
+	cfg.Warnf = s.Warnf
 	return RunShard(cfg)
 }
 
