@@ -1,0 +1,83 @@
+// Command cinder-perfcheck runs the continuous scenario + perf harness
+// (internal/perfharness): named end-to-end fleet scenarios under
+// wall-time budgets, with device-days/s, allocs/device-day,
+// instants/device-day, peak RSS and the canonical-report md5 gated
+// against checked-in baselines and appended to an NDJSON trend series.
+//
+// Usage:
+//
+//	cinder-perfcheck -tier smoke                      # PR gate: every smoke spec
+//	cinder-perfcheck -tier nightly -trend bench/trend.ndjson
+//	cinder-perfcheck -tier smoke -scenario dayinthelife,cluster
+//	cinder-perfcheck -tier nightly -update-baseline   # after a legit perf change
+//	cinder-perfcheck -list
+//
+// Exit status is non-zero when any metric leaves its tolerance band,
+// any canonical md5 diverges, any budget is blown, or any scenario's
+// embedded equivalence cross-check fails. See docs/perf-harness.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/perfharness"
+)
+
+func main() {
+	var (
+		tier     = flag.String("tier", perfharness.TierSmoke, "tier to run: smoke|nightly")
+		scenario = flag.String("scenario", "", "comma-separated scenario subset (default: all registered for the tier)")
+		baseline = flag.String("baseline", "bench/baselines.json", "checked-in baselines file")
+		trend    = flag.String("trend", "", "NDJSON trend file to append one record per scenario run to (empty: don't record)")
+		update   = flag.Bool("update-baseline", false, "rewrite the baselines file from this run's measurements instead of gating")
+		list     = flag.Bool("list", false, "list registered scenarios and tiers, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, sc := range perfharness.Registry() {
+			var tiers []string
+			for _, t := range []string{perfharness.TierSmoke, perfharness.TierNightly} {
+				if spec, ok := sc.Tiers[t]; ok {
+					tiers = append(tiers, fmt.Sprintf("%s (budget %v)", t, spec.Budget))
+				}
+			}
+			fmt.Printf("%-24s %s\n%-24s %s\n", sc.Name, strings.Join(tiers, ", "), "", sc.About)
+		}
+		return
+	}
+
+	var names []string
+	if *scenario != "" {
+		for _, n := range strings.Split(*scenario, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+
+	out, err := perfharness.Run(perfharness.Options{
+		Tier:         *tier,
+		Scenarios:    names,
+		BaselinePath: *baseline,
+		TrendPath:    *trend,
+		Update:       *update,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cinder-perfcheck:", err)
+		os.Exit(2)
+	}
+	if len(out.Violations) > 0 {
+		fmt.Fprintf(os.Stderr, "cinder-perfcheck: %d violation(s):\n", len(out.Violations))
+		for _, v := range out.Violations {
+			fmt.Fprintln(os.Stderr, "  -", v)
+		}
+		os.Exit(1)
+	}
+}

@@ -89,6 +89,10 @@ func TestReadmeCoversEntryPoints(t *testing.T) {
 		"CHANGES.md",
 		"docs/fleet-report.md",
 		"BENCH_week.json",
+		"cinder-perfcheck",
+		"-update-baseline",
+		"docs/perf-harness.md",
+		"bench/trend.ndjson",
 	} {
 		if !strings.Contains(s, want) {
 			t.Errorf("README.md does not mention %q", want)

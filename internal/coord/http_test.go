@@ -22,11 +22,15 @@ import (
 func TestHTTPLoopbackRunnerDeath(t *testing.T) {
 	job := weekJob(t, 8, 2, t.TempDir())
 
-	// A short beat keeps status lively, but the lease is generous: under
-	// the race detector everything runs several times slower, and a
-	// lease that expires under a healthy heartbeating runner turns this
-	// test into a flaky MaxAttempts failure.
-	co := New(Options{Heartbeat: 50 * time.Millisecond, Lease: 2 * time.Second, Logf: t.Logf})
+	// The coordinator's clock is fake (lazy lease expiry reads
+	// Options.Now on every claim/heartbeat), so the lease can never
+	// expire under a healthy heartbeating runner no matter how slowly
+	// the race detector runs this: wall time does not pass for the
+	// coordinator at all. The victim's lease is expired deliberately,
+	// by advancing the clock once the victim is provably dead.
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	const lease = 2 * time.Second
+	co := New(Options{Heartbeat: 50 * time.Millisecond, Lease: lease, Now: clk.Now, Logf: t.Logf})
 	srv := httptest.NewServer(delivery.Handler(co))
 	defer srv.Close()
 
@@ -36,11 +40,7 @@ func TestHTTPLoopbackRunnerDeath(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// The victim claims first; the survivor is held back until the
-	// victim has visibly started, so the death always hits a live shard.
 	victimCtx, kill := context.WithCancel(context.Background())
-	victimStarted := make(chan struct{})
-	var startOnce sync.Once
 	var killed atomic.Bool
 	victim := &Runner{
 		ID:   "victim",
@@ -51,7 +51,6 @@ func TestHTTPLoopbackRunnerDeath(t *testing.T) {
 		Poll:    10 * time.Millisecond,
 		Logf:    t.Logf,
 		OnProgress: func(shard int, p fleet.Progress) {
-			startOnce.Do(func() { close(victimStarted) })
 			if p.Checkpointed && !killed.Swap(true) {
 				kill()
 			}
@@ -65,20 +64,32 @@ func TestHTTPLoopbackRunnerDeath(t *testing.T) {
 		Logf:    t.Logf,
 	}
 
-	var wg sync.WaitGroup
-	wg.Add(2)
+	// The victim runs alone until its first epoch checkpoint kills it,
+	// holding a lease on a part-done shard. Only after its runner loop
+	// has fully returned — no heartbeat can ever renew that lease again
+	// — does the clock jump past the lease, and only then does the
+	// survivor start: its first claims expire the orphaned lease and
+	// resume the shard from the checkpoint. Every step is sequenced by
+	// the test, not by real time.
+	victimDone := make(chan struct{})
 	go func() {
-		defer wg.Done()
+		defer close(victimDone)
 		victim.Run(victimCtx)
 	}()
+	select {
+	case <-victimDone:
+	case <-time.After(60 * time.Second):
+		t.Fatal("victim never died: no checkpoint ever landed")
+	}
+	if !killed.Load() {
+		t.Fatal("victim exited without being killed: the death path went unexercised")
+	}
+	clk.Advance(lease + time.Second)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		select {
-		case <-victimStarted:
-		case <-time.After(30 * time.Second):
-			t.Error("victim never started a shard")
-			return
-		}
 		survivor.Run(context.Background())
 	}()
 

@@ -1,0 +1,81 @@
+package coord
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/coord/delivery"
+	"repro/internal/fleet"
+)
+
+// RunHTTP executes a job over a real HTTP loopback: an embedded
+// coordinator behind delivery.Handler on a 127.0.0.1 listener, with
+// opt.Runners runner loops dialing it through the wire like remote
+// processes would. It is the cluster rehearsal RunLocal cannot give —
+// every claim, heartbeat, partial and status crosses a TCP connection
+// and the full JSON encode/decode path — packaged as one call so the
+// perf harness can run (and time) the whole stack as a scenario.
+func RunHTTP(ctx context.Context, job fleet.Job, opt LocalOptions) (fleet.Report, error) {
+	runners := opt.Runners
+	if runners <= 0 {
+		runners = 1
+	}
+	co := New(opt.Coordinator)
+	if opt.Logf != nil && co.opts.Logf == nil {
+		co.opts.Logf = opt.Logf
+	}
+	defer co.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fleet.Report{}, fmt.Errorf("coord: loopback listener: %w", err)
+	}
+	srv := &http.Server{Handler: delivery.Handler(co)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(sctx)
+		<-serveErr // http.ErrServerClosed once Shutdown finishes
+	}()
+
+	base := "http://" + ln.Addr().String()
+	submit := delivery.DialHTTP(base)
+	defer submit.Close()
+	if err := submit.Submit(ctx, job); err != nil {
+		return fleet.Report{}, err
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < runners; i++ {
+		id := fmt.Sprintf("http-%d", i)
+		conn := delivery.DialHTTP(base)
+		r := &Runner{
+			ID:      id,
+			Conn:    conn,
+			Workers: opt.Workers,
+			Poll:    20 * time.Millisecond,
+			Logf:    opt.Logf,
+		}
+		if opt.OnProgress != nil {
+			r.OnProgress = func(shard int, p fleet.Progress) { opt.OnProgress(id, shard, p) }
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			r.Run(ctx)
+		}()
+	}
+	rep, err := co.Wait(ctx)
+	cancel()
+	wg.Wait()
+	return rep, err
+}

@@ -128,6 +128,17 @@ var extendedEquivalence = map[string]fleet.Config{
 		Workers:  2,
 		Scenario: fleet.AdversarialCohorts(),
 	},
+	// fig13 reuses the §6.4 kernel-level experiment; its fleet-fidelity
+	// stand-in is the poller scenario (the same rss+mail pair per
+	// device), long enough for dozens of pooled activations per device
+	// to cross the settled busy path under every engine strategy.
+	"fig13": {
+		Devices:  4,
+		Seed:     7,
+		Duration: 40 * units.Minute,
+		Workers:  2,
+		Scenario: fleet.PollerScenario{},
+	},
 }
 
 // TestExtendedEngineEquivalence runs every extended-registry experiment's

@@ -87,7 +87,7 @@ func TestRegistry(t *testing.T) {
 	}
 	// Extended experiments resolve through Run but stay out of Names()
 	// (and therefore out of the frozen -all output).
-	extendedWant := []string{"adversarial", "dayinthelife", "monthinthelife", "weekinthelife"}
+	extendedWant := []string{"adversarial", "dayinthelife", "fig13", "monthinthelife", "weekinthelife"}
 	if strings.Join(ExtendedNames(), ",") != strings.Join(extendedWant, ",") {
 		t.Fatalf("ExtendedNames() = %v, want %v", ExtendedNames(), extendedWant)
 	}

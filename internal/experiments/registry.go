@@ -36,6 +36,7 @@ var extended = map[string]Runner{
 	"weekinthelife":  func() Result { return WeekInTheLife(DefaultWeekInTheLifeOptions()) },
 	"monthinthelife": func() Result { return MonthInTheLife(DefaultMonthInTheLifeOptions()) },
 	"adversarial":    func() Result { return Adversarial(DefaultAdversarialOptions()) },
+	"fig13":          func() Result { return Fig13PollerAlignment(DefaultTable1Options()) },
 }
 
 // Names returns the paper-artifact experiment IDs, sorted. The set is

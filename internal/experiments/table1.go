@@ -66,9 +66,13 @@ type coopRun struct {
 	Activations  int64
 	RSSPolls     int
 	MailPolls    int
-	Meter        *trace.Series
-	PoolTrace    *trace.Series
-	RadioStates  *trace.Series
+	// RSSAt/MailAt are the poll completion instants — Fig. 13's
+	// activity marks (fig13.go plots and shape-checks them).
+	RSSAt       []units.Time
+	MailAt      []units.Time
+	Meter       *trace.Series
+	PoolTrace   *trace.Series
+	RadioStates *trace.Series
 }
 
 // runCoop executes one condition of the experiment.
@@ -108,6 +112,8 @@ func runCoop(opts Table1Options, cooperative bool) coopRun {
 		Activations: r.Stats().Activations,
 		RSSPolls:    rss.Completed,
 		MailPolls:   mail.Completed,
+		RSSAt:       rss.CompletedAt,
+		MailAt:      mail.CompletedAt,
 		Meter:       meter.Series(),
 		PoolTrace:   n.PoolTrace(),
 		RadioStates: r.StateSeries(),

@@ -1,0 +1,50 @@
+package perfharness
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"strconv"
+)
+
+// peakRSSBytes samples the process's high-water resident set from
+// /proc/self/status (VmHWM). Returns 0 where procfs is absent — the
+// harness then simply omits the peak_rss_bytes metric rather than
+// gating on a lie.
+func peakRSSBytes() int64 {
+	raw, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	for sc.Scan() {
+		line := sc.Text()
+		if len(line) < 6 || line[:6] != "VmHWM:" {
+			continue
+		}
+		fields := bytes.Fields([]byte(line[6:]))
+		if len(fields) < 1 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(string(fields[0]), 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}
+
+// resetPeakRSS clears the VmHWM high-water mark (write "5" to
+// /proc/self/clear_refs) so each scenario's peak is its own, not the
+// max over everything the process ran before it. Best-effort: on
+// kernels or sandboxes that refuse the write, peaks stay monotone
+// across scenarios — still a valid ceiling gate, just a looser one.
+func resetPeakRSS() {
+	f, err := os.OpenFile("/proc/self/clear_refs", os.O_WRONLY, 0)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	f.Write([]byte("5"))
+}
